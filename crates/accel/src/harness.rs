@@ -1,0 +1,331 @@
+//! Execution harness: runs an accelerator shielded and as the insecure
+//! baseline, with full cost accounting and output verification.
+//!
+//! This reproduces the paper's measurement methodology (§6.2, App. A.6):
+//! each benchmark exists as a baseline design and a `_shield` design;
+//! both are timed end to end (host DMA in → kernel → host DMA out) and
+//! the figure reports the ratio.
+
+use shef_core::shield::bus::{MemoryBus, PlainBus, ShieldedBus};
+use shef_core::shield::{client, DataEncryptionKey, EngineSetStats, RegisterInterface, Shield};
+use shef_core::ShefError;
+use shef_crypto::ecies::EciesKeyPair;
+use shef_fpga::clock::{ClockDomain, CostLedger, Cycles};
+use shef_fpga::dram::Dram;
+use shef_fpga::host::HostCpu;
+use shef_fpga::shell::Shell;
+
+use crate::{Accelerator, CryptoProfile};
+
+/// Result of one measured run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Modelled execution time in device cycles (bottleneck model).
+    pub cycles: Cycles,
+    /// Execution time in microseconds at the F1 fabric clock.
+    pub micros: f64,
+    /// Full cost breakdown.
+    pub ledger: CostLedger,
+    /// True if every expected output region matched the golden model
+    /// and `host_post` accepted the result registers.
+    pub outputs_verified: bool,
+    /// Engine-set statistics (shielded runs only).
+    pub engine_stats: Vec<(String, EngineSetStats)>,
+}
+
+impl RunReport {
+    fn from_ledger(ledger: CostLedger, verified: bool, stats: Vec<(String, EngineSetStats)>) -> Self {
+        let cycles = ledger.bottleneck();
+        RunReport {
+            cycles,
+            micros: ClockDomain::F1_DEFAULT.cycles_to_us(cycles),
+            ledger,
+            outputs_verified: verified,
+            engine_stats: stats,
+        }
+    }
+}
+
+/// Runs `accel` behind a Shield configured with `profile`.
+///
+/// The measured window covers: input DMA (ciphertext + tags), sealed
+/// register writes, the kernel, buffer flush, output DMA and
+/// verification-side decryption — matching the paper's end-to-end
+/// latencies. Attestation/boot is *not* included (the paper reports it
+/// separately in §6.1).
+///
+/// # Errors
+///
+/// Propagates configuration, integrity and bus errors.
+pub fn run_shielded(
+    accel: &mut dyn Accelerator,
+    profile: &CryptoProfile,
+    seed: u64,
+) -> Result<RunReport, ShefError> {
+    let config = accel.shield_config(profile);
+    config.validate()?;
+    let keypair = EciesKeyPair::from_seed(format!("harness.shield.{seed}").as_bytes());
+    let mut shield = Shield::new(config, keypair)?;
+    let dek = DataEncryptionKey::from_bytes(
+        shef_crypto::drbg::HmacDrbg::from_seed(format!("harness.dek.{seed}").as_bytes())
+            .generate_array::<32>(),
+    );
+    let load_key = dek.to_load_key(&shield.public_key());
+    shield.provision_load_key(&load_key)?;
+
+    let mut shell = Shell::new();
+    let mut dram = Dram::f1_default();
+    let mut host = HostCpu::new();
+    let mut ledger = CostLedger::new();
+
+    // Data Owner stages encrypted inputs; host DMAs ciphertext + tags.
+    for input in accel.inputs() {
+        let (index, region) = find_region(&shield, &input.region)?;
+        let chunk = region.engine_set.chunk_size as u64;
+        debug_assert_eq!(input.offset % chunk, 0, "offsets must be chunk-aligned");
+        let first_chunk = (input.offset / chunk) as u32;
+        let enc = client::encrypt_region_at(&dek, &region, first_chunk, &input.data, 0);
+        host.dma_to_device(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            region.range.start + input.offset,
+            &enc.ciphertext,
+        )?;
+        let tag_base = shield.config().tag_base(index) + u64::from(first_chunk) * 16;
+        // Tags ride the same DMA batch as the data (chained descriptor).
+        host.dma_to_device_chained(&mut shell, &mut dram, &mut ledger, tag_base, &enc.tags)?;
+    }
+
+    // Sealed register writes (commands / small data).
+    let mut reg_key = dek.register_key();
+    for (index, value) in accel.host_pre() {
+        let sealed = RegisterInterface::client_seal_value(&mut reg_key, index, value)?;
+        shield.host_reg_write(index, &sealed)?;
+        // One AXI-Lite crossing per 4-byte beat of the sealed packet.
+        ledger.add_serial(Cycles(4 + sealed.to_bytes().len() as u64 / 4));
+    }
+
+    // Kernel execution.
+    {
+        let mut bus = ShieldedBus {
+            shield: &mut shield,
+            shell: &mut shell,
+            dram: &mut dram,
+            ledger: &mut ledger,
+        };
+        accel.run(&mut bus)?;
+        bus.flush()?;
+    }
+
+    // Output readback + verification.
+    let mut verified = true;
+    for expected in accel.expected_outputs() {
+        let (index, region) = find_region(&shield, &expected.region)?;
+        let chunk = region.engine_set.chunk_size as u64;
+        debug_assert_eq!(expected.offset % chunk, 0, "offsets must be chunk-aligned");
+        let first_chunk = (expected.offset / chunk) as u32;
+        let len = expected.data.len();
+        let ct = host.dma_from_device(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            region.range.start + expected.offset,
+            len,
+        )?;
+        let tag_len = client::tag_bytes_for(len, region.engine_set.chunk_size);
+        let tags = host.dma_from_device_chained(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            shield.config().tag_base(index) + u64::from(first_chunk) * 16,
+            tag_len,
+        )?;
+        let plain = client::decrypt_region_at(
+            &dek,
+            &region,
+            first_chunk,
+            &ct,
+            &tags,
+            &client::uniform_epochs(0),
+        )?;
+        if plain != expected.data {
+            verified = false;
+        }
+    }
+
+    // Result registers.
+    let mut read_reg = |index: usize| -> Result<u64, ShefError> {
+        let sealed = shield.host_reg_read(index)?;
+        RegisterInterface::client_open_value(&dek.register_key(), index, &sealed)
+    };
+    if !accel.host_post(&mut read_reg)? {
+        verified = false;
+    }
+
+    let stats = shield.engine_stats();
+    ledger.merge(dram.ledger());
+    Ok(RunReport::from_ledger(ledger, verified, stats))
+}
+
+/// Runs `accel` with no Shield: plaintext DMA and direct Shell/DRAM
+/// access — the "1×" baseline of every normalized figure.
+///
+/// # Errors
+///
+/// Propagates bus errors.
+pub fn run_baseline(accel: &mut dyn Accelerator) -> Result<RunReport, ShefError> {
+    // Region addressing comes from the same config (any profile works:
+    // addresses do not depend on crypto parameters).
+    let config = accel.shield_config(&CryptoProfile::AES128_16X);
+    let mut shell = Shell::new();
+    let mut dram = Dram::f1_default();
+    let mut host = HostCpu::new();
+    let mut ledger = CostLedger::new();
+    let mut regs = vec![0u64; config.register_interface.num_registers];
+
+    for input in accel.inputs() {
+        let region = config
+            .regions
+            .iter()
+            .find(|r| r.name == input.region)
+            .ok_or_else(|| ShefError::Malformed(format!("unknown region {}", input.region)))?;
+        host.dma_to_device(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            region.range.start + input.offset,
+            &input.data,
+        )?;
+    }
+    for (index, value) in accel.host_pre() {
+        if let Some(slot) = regs.get_mut(index) {
+            *slot = value;
+        }
+        ledger.add_serial(Cycles(4));
+    }
+
+    {
+        let mut bus = PlainBus {
+            shell: &mut shell,
+            dram: &mut dram,
+            ledger: &mut ledger,
+            regs: &mut regs,
+        };
+        accel.run(&mut bus)?;
+        bus.flush()?;
+    }
+
+    let mut verified = true;
+    for expected in accel.expected_outputs() {
+        let region = config
+            .regions
+            .iter()
+            .find(|r| r.name == expected.region)
+            .ok_or_else(|| ShefError::Malformed(format!("unknown region {}", expected.region)))?;
+        let got = host.dma_from_device(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            region.range.start + expected.offset,
+            expected.data.len(),
+        )?;
+        if got != expected.data {
+            verified = false;
+        }
+    }
+    let mut read_reg = |index: usize| -> Result<u64, ShefError> {
+        Ok(regs.get(index).copied().unwrap_or(0))
+    };
+    if !accel.host_post(&mut read_reg)? {
+        verified = false;
+    }
+
+    ledger.merge(dram.ledger());
+    Ok(RunReport::from_ledger(ledger, verified, Vec::new()))
+}
+
+/// Measures the shielded/baseline ratio for one profile.
+///
+/// # Errors
+///
+/// Propagates run errors from either side.
+pub fn overhead(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+) -> Result<OverheadReport, ShefError> {
+    let mut base = make_accel();
+    let baseline = run_baseline(base.as_mut())?;
+    let mut shielded_accel = make_accel();
+    let shielded = run_shielded(shielded_accel.as_mut(), profile, 42)?;
+    Ok(OverheadReport {
+        baseline_cycles: baseline.cycles,
+        shielded_cycles: shielded.cycles,
+        normalized: shielded.cycles.0 as f64 / baseline.cycles.0.max(1) as f64,
+        baseline_verified: baseline.outputs_verified,
+        shielded_verified: shielded.outputs_verified,
+    })
+}
+
+/// A baseline-vs-shielded comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Baseline execution cycles.
+    pub baseline_cycles: Cycles,
+    /// Shielded execution cycles.
+    pub shielded_cycles: Cycles,
+    /// Shielded / baseline (the y-axis of Fig. 5 and Fig. 6).
+    pub normalized: f64,
+    /// Baseline output check.
+    pub baseline_verified: bool,
+    /// Shielded output check.
+    pub shielded_verified: bool,
+}
+
+fn find_region(
+    shield: &Shield,
+    name: &str,
+) -> Result<(usize, shef_core::shield::RegionConfig), ShefError> {
+    shield
+        .config()
+        .regions
+        .iter()
+        .enumerate()
+        .find(|(_, r)| r.name == name)
+        .map(|(i, r)| (i, r.clone()))
+        .ok_or_else(|| ShefError::Malformed(format!("unknown region {name}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecadd::VectorAdd;
+
+    #[test]
+    fn shielded_and_baseline_agree_on_outputs() {
+        let mut accel = VectorAdd::new(8 * 1024, 1);
+        let baseline = run_baseline(&mut accel).unwrap();
+        assert!(baseline.outputs_verified);
+        let mut accel = VectorAdd::new(8 * 1024, 1);
+        let shielded = run_shielded(&mut accel, &CryptoProfile::AES128_16X, 7).unwrap();
+        assert!(shielded.outputs_verified);
+        // Security costs something.
+        assert!(shielded.cycles >= baseline.cycles);
+    }
+
+    #[test]
+    fn overhead_reports_ratio() {
+        let make = || Box::new(VectorAdd::new(8 * 1024, 1)) as Box<dyn Accelerator>;
+        let report = overhead(&make, &CryptoProfile::AES128_4X).unwrap();
+        assert!(report.normalized >= 1.0);
+        assert!(report.baseline_verified && report.shielded_verified);
+    }
+
+    #[test]
+    fn slower_profile_is_not_faster() {
+        let make = || Box::new(VectorAdd::new(256 * 1024, 1)) as Box<dyn Accelerator>;
+        let fast = overhead(&make, &CryptoProfile::AES128_16X).unwrap();
+        let slow = overhead(&make, &CryptoProfile::AES256_4X).unwrap();
+        assert!(slow.normalized >= fast.normalized);
+    }
+}

@@ -1,0 +1,147 @@
+//! Criterion benchmarks of the Shield datapath itself: functional
+//! (wall-clock) throughput of engine-set reads/writes under different
+//! configurations, plus the end-to-end vecadd harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shef_accel::harness::{run_baseline, run_shielded};
+use shef_accel::vecadd::VectorAdd;
+use shef_accel::CryptoProfile;
+use shef_core::shield::client;
+use shef_core::shield::{
+    AccessMode, DataEncryptionKey, EngineSetConfig, MemRange, Shield, ShieldConfig,
+};
+use shef_crypto::authenc::MacAlgorithm;
+use shef_crypto::ecies::EciesKeyPair;
+use shef_fpga::clock::CostLedger;
+use shef_fpga::dram::Dram;
+use shef_fpga::shell::Shell;
+
+fn shielded_setup(chunk: usize, mac: MacAlgorithm) -> (Shield, Shell, Dram, DataEncryptionKey) {
+    let config = ShieldConfig::builder()
+        .region(
+            "bench",
+            MemRange::new(0, 1 << 20),
+            EngineSetConfig {
+                chunk_size: chunk,
+                mac,
+                buffer_bytes: 64 * 1024,
+                ..EngineSetConfig::default()
+            },
+        )
+        .build()
+        .unwrap();
+    let mut shield = Shield::new(config, EciesKeyPair::from_seed(b"bench")).unwrap();
+    let dek = DataEncryptionKey::from_bytes([1u8; 32]);
+    let lk = dek.to_load_key(&shield.public_key());
+    shield.provision_load_key(&lk).unwrap();
+    let mut dram = Dram::f1_default();
+    let region = shield.config().regions[0].clone();
+    let enc = client::encrypt_region(&dek, &region, &vec![0x33u8; 1 << 20], 0);
+    dram.tamper_write(0, &enc.ciphertext);
+    dram.tamper_write(shield.config().tag_base(0), &enc.tags);
+    (shield, Shell::new(), dram, dek)
+}
+
+fn bench_shield_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shield_read");
+    group.sample_size(20);
+    for (name, chunk, mac) in [
+        ("c512_hmac", 512usize, MacAlgorithm::HmacSha256),
+        ("c4096_hmac", 4096, MacAlgorithm::HmacSha256),
+        ("c4096_pmac", 4096, MacAlgorithm::PmacAes),
+        ("c4096_gcm", 4096, MacAlgorithm::AesGcm),
+    ] {
+        let (mut shield, mut shell, mut dram, _) = shielded_setup(chunk, mac);
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function(BenchmarkId::new("stream_1mb", name), |b| {
+            b.iter(|| {
+                let mut ledger = CostLedger::new();
+                // Fresh engine state per iteration would re-derive keys;
+                // re-reading through the (small) buffer still exercises
+                // the full decrypt+verify path for most chunks.
+                shield
+                    .read(&mut shell, &mut dram, &mut ledger, 0, 1 << 20, AccessMode::Streaming)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vecadd_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecadd_harness");
+    group.sample_size(10);
+    group.bench_function("baseline_256k", |b| {
+        b.iter(|| {
+            let mut accel = VectorAdd::new(256 * 1024, 1);
+            run_baseline(&mut accel).unwrap()
+        })
+    });
+    group.bench_function("shielded_256k_aes16x", |b| {
+        b.iter(|| {
+            let mut accel = VectorAdd::new(256 * 1024, 1);
+            run_shielded(&mut accel, &CryptoProfile::AES128_16X, 2).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay_defences(c: &mut Criterion) {
+    use shef_core::shield::engine::EngineSet;
+    use shef_core::shield::merkle::MerkleConfig;
+    use shef_core::shield::RegionConfig;
+
+    let mut group = c.benchmark_group("replay_defence");
+    group.sample_size(20);
+    for (name, counters, merkle) in [
+        ("counters", true, None),
+        ("merkle_a8_cached", false, Some(MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 })),
+        ("merkle_a8_uncached", false, Some(MerkleConfig { arity: 8, node_cache_bytes: 0 })),
+    ] {
+        let region = RegionConfig {
+            name: "bench".into(),
+            range: MemRange::new(0, 256 * 1024),
+            engine_set: EngineSetConfig {
+                chunk_size: 512,
+                buffer_bytes: 4096,
+                counters,
+                merkle,
+                ..EngineSetConfig::default()
+            },
+        };
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let mut es = EngineSet::new(region, 0, 32 << 20, 48 << 20, &dek);
+        let mut shell = Shell::new();
+        let mut dram = Dram::new(1 << 30);
+        let mut ledger = CostLedger::new();
+        // Provision once with full-chunk writes.
+        for start in (0..256 * 1024u64).step_by(512) {
+            es.write(&mut shell, &mut dram, &mut ledger, start, &[0u8; 512], AccessMode::Streaming)
+                .unwrap();
+        }
+        es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
+        group.bench_function(BenchmarkId::new("rmw_64", name), |b| {
+            let mut n = 0u64;
+            b.iter(|| {
+                n = n.wrapping_mul(6364136223846793005).wrapping_add(97);
+                let addr = (n >> 16) % (256 * 1024 - 64);
+                let mut ledger = CostLedger::new();
+                let got = es
+                    .read(&mut shell, &mut dram, &mut ledger, addr, 64, AccessMode::Streaming)
+                    .unwrap();
+                es.write(&mut shell, &mut dram, &mut ledger, addr, &got, AccessMode::Streaming)
+                    .unwrap();
+                es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shield_reads,
+    bench_vecadd_end_to_end,
+    bench_replay_defences
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates **Table 1**: Shield component utilization on AWS F1.
+//!
+//! The per-component absolute numbers are the paper's own Vivado
+//! measurements (they seed our area model); this binary recomputes the
+//! device percentages from the modelled VU9P totals and checks them
+//! against the percentages printed in the paper.
+
+use shef_bench::{header, kv_row};
+use shef_core::shield::area::{component, Resources};
+
+fn row(name: &str, r: Resources, paper_pct: (f64, f64, f64)) {
+    kv_row(
+        name,
+        &format!(
+            "BRAM {:>4} ({:.2}% / paper {:.2}%)  LUT {:>5} ({:.2}% / paper {:.2}%)  REG {:>5} ({:.2}% / paper {:.2}%)",
+            r.bram,
+            r.bram_pct(),
+            paper_pct.0,
+            r.lut,
+            r.lut_pct(),
+            paper_pct.1,
+            r.reg,
+            r.reg_pct(),
+            paper_pct.2,
+        ),
+    );
+}
+
+fn main() {
+    header("Table 1: Shield component utilization on AWS F1");
+    row("Controller", component::CONTROLLER, (0.0, 0.26, 0.03));
+    row("Engine Set (base)", component::ENGINE_SET_BASE, (0.12, 0.12, 0.14));
+    row("Reg. Interface", component::REG_INTERFACE, (0.0, 0.36, 0.11));
+    row("AES-4x", component::AES_4X, (0.0, 0.27, 0.13));
+    row("AES-16x", component::AES_16X, (0.0, 0.32, 0.13));
+    row("HMAC", component::HMAC, (0.0, 0.44, 0.15));
+    row("PMAC", component::PMAC, (0.0, 0.28, 0.14));
+    kv_row("OCM", "variable (buffers + counters), 382 Mb pool");
+    println!();
+    println!(
+        "device totals used for percentages: {} LUT, {} REG, {} BRAM36",
+        shef_core::shield::area::DEVICE_LUTS,
+        shef_core::shield::area::DEVICE_REGS,
+        shef_core::shield::area::DEVICE_BRAM36,
+    );
+}

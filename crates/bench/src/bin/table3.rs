@@ -1,0 +1,52 @@
+//! Regenerates **Table 3**: inclusive resource utilization on AWS F1 for
+//! the largest Shield configuration of each accelerator.
+//!
+//! Paper row (BRAM / LUT / REG %): Convolution 2.9/11/5.2,
+//! Digit Rec. 0.71/3.3/1.4, Affine 2.1/11/5.2, DNNWeaver 3.1/7.1/3.5,
+//! Bitcoin 0/1.4/0.42.
+
+use shef_accel::affine::AffineTransform;
+use shef_accel::bitcoin::Bitcoin;
+use shef_accel::conv::{ConvDims, Convolution};
+use shef_accel::digitrec::DigitRecognition;
+use shef_accel::dnnweaver::DnnWeaver;
+use shef_accel::{Accelerator, CryptoProfile};
+use shef_bench::{header, kv_row};
+use shef_core::shield::area::shield_area;
+
+fn row(name: &str, accel: &dyn Accelerator, paper: (f64, f64, f64)) {
+    // "Largest Shield configuration" = AES-16x engines everywhere.
+    let cfg = accel.shield_config(&CryptoProfile::AES128_16X);
+    let r = shield_area(&cfg);
+    kv_row(
+        name,
+        &format!(
+            "BRAM {:>5.2}% (paper {:>4.2}%)  LUT {:>5.2}% (paper {:>4.1}%)  REG {:>5.2}% (paper {:>4.2}%)",
+            r.bram_pct(),
+            paper.0,
+            r.lut_pct(),
+            paper.1,
+            r.reg_pct(),
+            paper.2,
+        ),
+    );
+}
+
+fn main() {
+    header("Table 3: inclusive Shield utilization per accelerator (largest config)");
+    row(
+        "Convolution",
+        &Convolution::new(ConvDims::paper(), 0),
+        (2.9, 11.0, 5.2),
+    );
+    row(
+        "Digit Recognition",
+        &DigitRecognition::new(2016, 100, 0),
+        (0.71, 3.3, 1.4),
+    );
+    row("Affine", &AffineTransform::paper(0), (2.1, 11.0, 5.2));
+    row("DNNWeaver", &DnnWeaver::new(1, 0), (3.1, 7.1, 3.5));
+    row("Bitcoin", &Bitcoin::new(16, 0), (0.0, 1.4, 0.42));
+    println!();
+    println!("(percentages of 894k LUT / 1.79M REG / 1680 BRAM36 as in Table 1)");
+}

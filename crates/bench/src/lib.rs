@@ -1,0 +1,51 @@
+//! Shared reporting helpers for the table/figure regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§6), printing `measured` next to `paper` so the
+//! comparison in EXPERIMENTS.md is mechanical. Run them with
+//! `cargo run --release -p shef-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Prints one measured-vs-paper row for a normalized overhead.
+pub fn overhead_row(label: &str, measured: f64, paper: Option<f64>) {
+    match paper {
+        Some(p) => println!("{label:<32} measured={measured:>6.2}x   paper={p:>6.2}x"),
+        None => println!("{label:<32} measured={measured:>6.2}x   paper=   n/a"),
+    }
+}
+
+/// Prints one measured-vs-paper row for a percentage.
+pub fn percent_row(label: &str, measured: f64, paper: Option<f64>) {
+    match paper {
+        Some(p) => println!("{label:<32} measured={measured:>6.2}%   paper={p:>6.2}%"),
+        None => println!("{label:<32} measured={measured:>6.2}%   paper=   n/a"),
+    }
+}
+
+/// Prints a free-form key/value row.
+pub fn kv_row(label: &str, value: &str) {
+    println!("{label:<32} {value}");
+}
+
+/// Formats cycles as microseconds at the F1 clock.
+#[must_use]
+pub fn cycles_to_us(cycles: shef_fpga::clock::Cycles) -> f64 {
+    shef_fpga::clock::ClockDomain::F1_DEFAULT.cycles_to_us(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cycles_to_us_at_250mhz() {
+        assert_eq!(super::cycles_to_us(shef_fpga::clock::Cycles(250)), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ShEF core: Shielded Enclaves for Cloud FPGAs
+//!
+//! This crate implements the ShEF framework of Zhao, Gao & Kozyrakis
+//! (ASPLOS 2022) on top of the simulated cloud-FPGA platform in
+//! [`shef_fpga`]:
+//!
+//! * [`boot`] — the secure boot chain (§4 "Secure Boot"): BootROM → SPB
+//!   firmware → measured Security Kernel with a device-bound Attestation
+//!   Key.
+//! * [`attest`] — the remote attestation protocol of Fig. 3, three-party
+//!   (Data Owner ↔ IP Vendor ↔ Security Kernel) over untrusted channels.
+//! * [`bitstream`] — the partial-bitstream container: accelerator logic,
+//!   Shield configuration and the embedded private Shield Encryption Key,
+//!   sealed under the Bitstream Encryption Key.
+//! * [`shield`] — the ShEF Shield (§5): a configurable wrapper that
+//!   interposes authenticated encryption on the register and memory
+//!   interfaces between accelerator and Shell, with per-region engine
+//!   sets, buffers and freshness counters, plus area and timing models.
+//! * [`pki`] — the certificate authority machinery binding device keys
+//!   to the Manufacturer and Security-Kernel hashes to a public list.
+//! * [`workflow`] — the four parties (Manufacturer, CSP, IP Vendor, Data
+//!   Owner) and the eleven-step lifecycle of Fig. 2 as a typed API.
+//! * [`attacks`] — the adversarial harness used to demonstrate that the
+//!   threat-model attacks (Shell man-in-the-middle, DRAM spoof/splice/
+//!   replay, JTAG tamper, bitstream swaps) are detected.
+//! * [`sidechannel`] — §5.2 countermeasures: active-fence generation and
+//!   access-pattern width analysis.
+//! * [`oram`] — the paper's suggested extension: a Path ORAM controller
+//!   over the Shield's generic memory interface, closing the address
+//!   side channel entirely.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root for the full
+//! eleven-step lifecycle; the crate-level integration tests
+//! (`tests/end_to_end.rs`) exercise every path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod attest;
+pub mod bitstream;
+pub mod boot;
+pub mod error;
+pub mod oram;
+pub mod pki;
+pub mod shield;
+pub mod sidechannel;
+pub mod workflow;
+
+mod wire;
+
+pub use error::ShefError;

@@ -1,0 +1,258 @@
+//! Public-key infrastructure for the ShEF ecosystem.
+//!
+//! §3: "The Manufacturer must also register and publish the public device
+//! key via a trusted certificate authority", and the IP Vendor "consults
+//! a public list of ShEF Security Kernel … hashes" during attestation.
+//! This module provides both: a simple CA issuing Ed25519 certificates
+//! over device keys, and the public measurement registry.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use shef_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+
+use crate::wire::{Reader, Writer};
+use crate::ShefError;
+
+/// What a certificate binds a key to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertSubject {
+    /// An FPGA device's public device key, identified by die serial.
+    Device {
+        /// The die serial printed on the package.
+        die_serial: Vec<u8>,
+    },
+    /// An IP Vendor's distribution key, identified by vendor name.
+    Vendor {
+        /// Registered vendor name.
+        name: String,
+    },
+}
+
+/// A signed binding of a subject to an Ed25519 public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Who the key belongs to.
+    pub subject: CertSubject,
+    /// The certified public key.
+    pub public_key: VerifyingKey,
+    /// CA signature over the serialized subject and key.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    fn message(subject: &CertSubject, public_key: &VerifyingKey) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("shef.cert.v1");
+        match subject {
+            CertSubject::Device { die_serial } => {
+                w.put_u8(0);
+                w.put_bytes(die_serial);
+            }
+            CertSubject::Vendor { name } => {
+                w.put_u8(1);
+                w.put_str(name);
+            }
+        }
+        w.put_fixed(&public_key.0);
+        w.finish()
+    }
+
+    /// Verifies the certificate against a CA root key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::Crypto`] if the signature does not verify.
+    pub fn verify(&self, ca_root: &VerifyingKey) -> Result<(), ShefError> {
+        let msg = Self::message(&self.subject, &self.public_key);
+        ca_root.verify(&msg, &self.signature)?;
+        Ok(())
+    }
+
+    /// Serializes for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.subject {
+            CertSubject::Device { die_serial } => {
+                w.put_u8(0);
+                w.put_bytes(die_serial);
+            }
+            CertSubject::Vendor { name } => {
+                w.put_u8(1);
+                w.put_str(name);
+            }
+        }
+        w.put_fixed(&self.public_key.0);
+        w.put_fixed(&self.signature.0);
+        w.finish()
+    }
+
+    /// Parses the `to_bytes` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::Malformed`] on bad input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShefError> {
+        let mut r = Reader::new(bytes);
+        let subject = match r.get_u8()? {
+            0 => CertSubject::Device { die_serial: r.get_bytes()? },
+            1 => CertSubject::Vendor { name: r.get_str()? },
+            t => return Err(ShefError::Malformed(format!("unknown subject tag {t}"))),
+        };
+        let public_key = VerifyingKey(r.get_fixed::<32>()?);
+        let signature = Signature(r.get_fixed::<64>()?);
+        r.finish()?;
+        Ok(Certificate { subject, public_key, signature })
+    }
+}
+
+/// A certificate authority (run by the Manufacturer, per §3).
+pub struct CertificateAuthority {
+    root: SigningKey,
+    issued: BTreeMap<Vec<u8>, Certificate>,
+}
+
+impl core::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CertificateAuthority")
+            .field("root_public", &self.root.verifying_key())
+            .field("issued", &self.issued.len())
+            .finish()
+    }
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with a deterministic root key.
+    #[must_use]
+    pub fn new(seed: &[u8; 32]) -> Self {
+        CertificateAuthority {
+            root: SigningKey::from_seed(seed),
+            issued: BTreeMap::new(),
+        }
+    }
+
+    /// The root public key, distributed out of band to all parties.
+    #[must_use]
+    pub fn root_public(&self) -> VerifyingKey {
+        self.root.verifying_key()
+    }
+
+    /// Issues and records a certificate.
+    pub fn issue(&mut self, subject: CertSubject, public_key: VerifyingKey) -> Certificate {
+        let msg = Certificate::message(&subject, &public_key);
+        let cert = Certificate {
+            subject: subject.clone(),
+            public_key,
+            signature: self.root.sign(&msg),
+        };
+        let index_key = match &subject {
+            CertSubject::Device { die_serial } => {
+                let mut k = b"device:".to_vec();
+                k.extend_from_slice(die_serial);
+                k
+            }
+            CertSubject::Vendor { name } => {
+                let mut k = b"vendor:".to_vec();
+                k.extend_from_slice(name.as_bytes());
+                k
+            }
+        };
+        self.issued.insert(index_key, cert.clone());
+        cert
+    }
+
+    /// Looks up the certificate issued for a device by die serial.
+    #[must_use]
+    pub fn device_certificate(&self, die_serial: &[u8]) -> Option<&Certificate> {
+        let mut k = b"device:".to_vec();
+        k.extend_from_slice(die_serial);
+        self.issued.get(&k)
+    }
+}
+
+/// The public registry of audited Security-Kernel measurements.
+///
+/// §3: "the IP Vendor consults a public list of ShEF Security Kernel
+/// (and Security Kernel Processor) hashes". The Security Kernel is open
+/// source; anyone can rebuild it and check the hash.
+#[derive(Debug, Default, Clone)]
+pub struct MeasurementRegistry {
+    kernel_hashes: BTreeSet<[u8; 32]>,
+}
+
+impl MeasurementRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MeasurementRegistry::default()
+    }
+
+    /// Publishes an audited kernel hash.
+    pub fn publish_kernel_hash(&mut self, hash: [u8; 32]) {
+        self.kernel_hashes.insert(hash);
+    }
+
+    /// True if `hash` is an audited Security Kernel build.
+    #[must_use]
+    pub fn is_known_kernel(&self, hash: &[u8; 32]) -> bool {
+        self.kernel_hashes.contains(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify_device_cert() {
+        let mut ca = CertificateAuthority::new(&[1u8; 32]);
+        let device_key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
+        let cert = ca.issue(
+            CertSubject::Device { die_serial: b"die-7".to_vec() },
+            device_key,
+        );
+        cert.verify(&ca.root_public()).unwrap();
+        assert_eq!(ca.device_certificate(b"die-7").unwrap(), &cert);
+        assert!(ca.device_certificate(b"die-8").is_none());
+    }
+
+    #[test]
+    fn forged_cert_rejected() {
+        let mut ca = CertificateAuthority::new(&[1u8; 32]);
+        let rogue_ca = CertificateAuthority::new(&[9u8; 32]);
+        let key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
+        let cert = ca.issue(CertSubject::Vendor { name: "acme".into() }, key);
+        assert!(cert.verify(&rogue_ca.root_public()).is_err());
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let mut ca = CertificateAuthority::new(&[1u8; 32]);
+        let key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
+        let mut cert = ca.issue(
+            CertSubject::Device { die_serial: b"die-1".to_vec() },
+            key,
+        );
+        cert.subject = CertSubject::Device { die_serial: b"die-2".to_vec() };
+        assert!(cert.verify(&ca.root_public()).is_err());
+    }
+
+    #[test]
+    fn cert_wire_round_trip() {
+        let mut ca = CertificateAuthority::new(&[1u8; 32]);
+        let key = SigningKey::from_seed(&[3u8; 32]).verifying_key();
+        let cert = ca.issue(CertSubject::Vendor { name: "v".into() }, key);
+        let parsed = Certificate::from_bytes(&cert.to_bytes()).unwrap();
+        assert_eq!(parsed, cert);
+        parsed.verify(&ca.root_public()).unwrap();
+        assert!(Certificate::from_bytes(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn measurement_registry() {
+        let mut reg = MeasurementRegistry::new();
+        assert!(!reg.is_known_kernel(&[0u8; 32]));
+        reg.publish_kernel_hash([0u8; 32]);
+        assert!(reg.is_known_kernel(&[0u8; 32]));
+    }
+}

@@ -1,0 +1,233 @@
+//! Data-Owner-side (client) encryption.
+//!
+//! "The Data Owner then encrypts sensitive input data in a secure
+//! location using the appropriate Data Encryption Key" (§4). The client
+//! produces exactly the on-DRAM chunk format the Shield expects
+//! ([`super::chunk`]), so the untrusted host can DMA ciphertext and tags
+//! straight into place; and it can verify/decrypt region contents the
+//! accelerator produced.
+
+use super::chunk::{open_chunk, seal_chunk, CHUNK_TAG_LEN};
+use super::config::RegionConfig;
+use super::keys::DataEncryptionKey;
+use crate::ShefError;
+
+/// An encrypted region image ready for DMA: ciphertext for the data
+/// range plus the packed tag array for the region's tag-arena slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedRegion {
+    /// Ciphertext, same length as the plaintext (laid out at
+    /// `region.range.start`).
+    pub ciphertext: Vec<u8>,
+    /// Concatenated 16-byte chunk tags (laid out at the region's tag
+    /// base).
+    pub tags: Vec<u8>,
+}
+
+/// Encrypts a full region image at write-epoch `epoch` (0 for initial
+/// provisioning).
+///
+/// # Panics
+///
+/// Panics if `plaintext` is longer than the region.
+#[must_use]
+pub fn encrypt_region(
+    dek: &DataEncryptionKey,
+    region: &RegionConfig,
+    plaintext: &[u8],
+    epoch: u64,
+) -> EncryptedRegion {
+    encrypt_region_at(dek, region, 0, plaintext, epoch)
+}
+
+/// Like [`encrypt_region`], but for a window starting at chunk
+/// `first_chunk` (e.g. one file slot of a larger store region).
+#[must_use]
+pub fn encrypt_region_at(
+    dek: &DataEncryptionKey,
+    region: &RegionConfig,
+    first_chunk: u32,
+    plaintext: &[u8],
+    epoch: u64,
+) -> EncryptedRegion {
+    assert!(
+        plaintext.len() as u64 <= region.range.len,
+        "plaintext ({}) exceeds region '{}' ({} bytes)",
+        plaintext.len(),
+        region.name,
+        region.range.len
+    );
+    // A partial image must still be chunk-aligned: the Shield verifies
+    // whole C_mem chunks, so a short final chunk anywhere but the region
+    // end would never authenticate on the device.
+    assert!(
+        plaintext.len().is_multiple_of(region.engine_set.chunk_size)
+            || plaintext.len() as u64 == region.range.len,
+        "plaintext for region '{}' must be a multiple of the {}-byte chunk size \
+         (pad it; the Shield authenticates whole chunks)",
+        region.name,
+        region.engine_set.chunk_size
+    );
+    let key = dek.region_key(region);
+    let nonce = dek.region_nonce(region);
+    let chunk = region.engine_set.chunk_size;
+    let mut ciphertext = Vec::with_capacity(plaintext.len());
+    let mut tags = Vec::new();
+    for (i, pt) in plaintext.chunks(chunk).enumerate() {
+        let idx = first_chunk + i as u32;
+        let (ct, tag) = seal_chunk(&key, nonce, &region.name, idx, epoch, pt);
+        ciphertext.extend_from_slice(&ct);
+        tags.extend_from_slice(&tag);
+    }
+    EncryptedRegion { ciphertext, tags }
+}
+
+/// Verifies and decrypts a region image read back from device memory.
+///
+/// `epochs` gives the expected write epoch per chunk; pass
+/// [`uniform_epochs`] when all chunks share one epoch.
+///
+/// # Errors
+///
+/// Returns [`ShefError::IntegrityViolation`] if any chunk fails
+/// authentication (spoofed/spliced/replayed output).
+pub fn decrypt_region(
+    dek: &DataEncryptionKey,
+    region: &RegionConfig,
+    ciphertext: &[u8],
+    tags: &[u8],
+    epochs: &dyn Fn(u32) -> u64,
+) -> Result<Vec<u8>, ShefError> {
+    decrypt_region_at(dek, region, 0, ciphertext, tags, epochs)
+}
+
+/// Like [`decrypt_region`], but for a window starting at chunk
+/// `first_chunk`.
+///
+/// # Errors
+///
+/// Same conditions as [`decrypt_region`].
+pub fn decrypt_region_at(
+    dek: &DataEncryptionKey,
+    region: &RegionConfig,
+    first_chunk: u32,
+    ciphertext: &[u8],
+    tags: &[u8],
+    epochs: &dyn Fn(u32) -> u64,
+) -> Result<Vec<u8>, ShefError> {
+    let key = dek.region_key(region);
+    let nonce = dek.region_nonce(region);
+    let chunk = region.engine_set.chunk_size;
+    let n_chunks = ciphertext.len().div_ceil(chunk);
+    if tags.len() < n_chunks * CHUNK_TAG_LEN {
+        return Err(ShefError::Malformed(format!(
+            "tag array too short: {} chunks need {} bytes, got {}",
+            n_chunks,
+            n_chunks * CHUNK_TAG_LEN,
+            tags.len()
+        )));
+    }
+    let mut plaintext = Vec::with_capacity(ciphertext.len());
+    for (i, ct) in ciphertext.chunks(chunk).enumerate() {
+        let idx = first_chunk + i as u32;
+        let tag: [u8; CHUNK_TAG_LEN] = tags[i * CHUNK_TAG_LEN..(i + 1) * CHUNK_TAG_LEN]
+            .try_into()
+            .expect("length checked above");
+        let pt = open_chunk(&key, nonce, &region.name, idx, epochs(idx), ct, &tag)?;
+        plaintext.extend_from_slice(&pt);
+    }
+    Ok(plaintext)
+}
+
+/// Epoch function for regions whose chunks all share one epoch.
+pub fn uniform_epochs(epoch: u64) -> impl Fn(u32) -> u64 {
+    move |_| epoch
+}
+
+/// Number of tag bytes for a plaintext of `len` bytes under `chunk_size`.
+#[must_use]
+pub fn tag_bytes_for(len: usize, chunk_size: usize) -> usize {
+    len.div_ceil(chunk_size) * CHUNK_TAG_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shield::config::{EngineSetConfig, MemRange};
+
+    fn region() -> RegionConfig {
+        RegionConfig {
+            name: "input".into(),
+            range: MemRange::new(0, 8192),
+            engine_set: EngineSetConfig::default(),
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        let data: Vec<u8> = (0..5120u32).map(|i| (i % 253) as u8).collect();
+        let enc = encrypt_region(&dek, &r, &data, 0);
+        assert_eq!(enc.ciphertext.len(), data.len());
+        assert_eq!(enc.tags.len(), tag_bytes_for(data.len(), 512));
+        let dec =
+            decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags, &uniform_epochs(0)).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn tampered_ciphertext_detected() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        let mut enc = encrypt_region(&dek, &r, &[7u8; 1024], 0);
+        enc.ciphertext[600] ^= 1;
+        assert!(decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags, &uniform_epochs(0)).is_err());
+    }
+
+    #[test]
+    fn wrong_epoch_detected() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        let enc = encrypt_region(&dek, &r, &[7u8; 1024], 0);
+        assert!(decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags, &uniform_epochs(1)).is_err());
+    }
+
+    #[test]
+    fn short_tag_array_rejected() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        let enc = encrypt_region(&dek, &r, &[7u8; 1024], 0);
+        assert!(matches!(
+            decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags[..16], &uniform_epochs(0)),
+            Err(ShefError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn oversized_plaintext_panics() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        let _ = encrypt_region(&dek, &r, &vec![0u8; 10_000], 0);
+    }
+
+    #[test]
+    fn per_chunk_epochs() {
+        let dek = DataEncryptionKey::from_bytes([8u8; 32]);
+        let r = region();
+        // Chunk 0 at epoch 2, chunk 1 at epoch 5.
+        let key = dek.region_key(&r);
+        let nonce = dek.region_nonce(&r);
+        let (c0, t0) = super::super::chunk::seal_chunk(&key, nonce, &r.name, 0, 2, &[1u8; 512]);
+        let (c1, t1) = super::super::chunk::seal_chunk(&key, nonce, &r.name, 1, 5, &[2u8; 512]);
+        let mut ct = c0;
+        ct.extend_from_slice(&c1);
+        let mut tags = t0.to_vec();
+        tags.extend_from_slice(&t1);
+        let epochs = |i: u32| if i == 0 { 2 } else { 5 };
+        let out = decrypt_region(&dek, &r, &ct, &tags, &epochs).unwrap();
+        assert_eq!(&out[..512], &[1u8; 512][..]);
+        assert_eq!(&out[512..], &[2u8; 512][..]);
+    }
+}

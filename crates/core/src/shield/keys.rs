@@ -1,0 +1,266 @@
+//! Shield key schedule and Load-Key provisioning.
+//!
+//! Key flow (Fig. 2/Fig. 3): the IP Vendor embeds a private **Shield
+//! Encryption Key** in each Shield at bitstream compile time; the Data
+//! Owner generates a symmetric **Data Encryption Key**, encrypts it
+//! against the public Shield Encryption Key to form the **Load Key**,
+//! and ships the Load Key through the untrusted host. The Shield
+//! decrypts the Load Key into ephemeral key storage and derives
+//! independent per-region working keys.
+
+use shef_crypto::authenc::{AuthEncKey, MacAlgorithm};
+use shef_crypto::ecies::{self, EciesCiphertext, EciesKeyPair, EciesPublicKey};
+use shef_crypto::hkdf;
+
+use super::config::RegionConfig;
+use crate::ShefError;
+
+/// Associated-data label binding Load Keys to their purpose.
+pub const LOAD_KEY_AD: &[u8] = b"shef.shield.load-key.v1";
+
+/// The Data Owner's symmetric master key for one Shield.
+#[derive(Clone)]
+pub struct DataEncryptionKey {
+    master: [u8; 32],
+}
+
+impl core::fmt::Debug for DataEncryptionKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DataEncryptionKey").finish_non_exhaustive()
+    }
+}
+
+impl DataEncryptionKey {
+    /// Wraps raw key bytes.
+    #[must_use]
+    pub fn from_bytes(master: [u8; 32]) -> Self {
+        DataEncryptionKey { master }
+    }
+
+    /// Raw bytes (for sealing into a Load Key).
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.master
+    }
+
+    /// Derives the working key for a region. Both the Shield and the
+    /// Data Owner's client-side encryption use this derivation, so
+    /// ciphertexts interoperate.
+    #[must_use]
+    pub fn region_key(&self, region: &RegionConfig) -> AuthEncKey {
+        let info = format!("shef.region.key.{}", region.name);
+        let master = hkdf::derive_key32(b"shef.shield", &self.master, info.as_bytes());
+        AuthEncKey::with_key_size(master, region.engine_set.mac, region.engine_set.key_size)
+    }
+
+    /// Derives the 8-byte IV nonce for a region.
+    #[must_use]
+    pub fn region_nonce(&self, region: &RegionConfig) -> [u8; 8] {
+        let info = format!("shef.region.nonce.{}", region.name);
+        let bytes = hkdf::derive(b"shef.shield", &self.master, info.as_bytes(), 8);
+        bytes.try_into().expect("8 bytes requested")
+    }
+
+    /// Derives the MAC key for a region's Merkle-tree nodes (the Bonsai-
+    /// Merkle-Tree replay defence). Independent from the data key so a
+    /// tree-node digest can never be confused with a chunk tag.
+    #[must_use]
+    pub fn region_tree_key(&self, region: &RegionConfig) -> [u8; 32] {
+        let info = format!("shef.region.tree.{}", region.name);
+        hkdf::derive_key32(b"shef.shield", &self.master, info.as_bytes())
+    }
+
+    /// Derives the register-interface key.
+    #[must_use]
+    pub fn register_key(&self) -> AuthEncKey {
+        let master = hkdf::derive_key32(b"shef.shield", &self.master, b"shef.regif.key");
+        AuthEncKey::from_bytes(master, MacAlgorithm::HmacSha256)
+    }
+
+    /// Encrypts this key against a Shield's public encryption key,
+    /// producing the Load Key (Fig. 3 step 8).
+    #[must_use]
+    pub fn to_load_key(&self, shield_public: &EciesPublicKey) -> LoadKey {
+        LoadKey(ecies::encrypt(shield_public, &self.master, LOAD_KEY_AD))
+    }
+}
+
+/// A Data Encryption Key sealed for a specific Shield.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadKey(pub EciesCiphertext);
+
+impl LoadKey {
+    /// Wire encoding (what the host program forwards).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parses the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::Malformed`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShefError> {
+        Ok(LoadKey(EciesCiphertext::from_bytes(bytes).map_err(|e| {
+            ShefError::Malformed(format!("bad load key: {e}"))
+        })?))
+    }
+}
+
+/// The Shield-side ephemeral key storage (Fig. 4 "Key Storage").
+pub struct KeyStorage {
+    shield_keypair: EciesKeyPair,
+    data_key: Option<DataEncryptionKey>,
+}
+
+impl core::fmt::Debug for KeyStorage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyStorage")
+            .field("provisioned", &self.data_key.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl KeyStorage {
+    /// Creates storage around the Shield's embedded private key.
+    #[must_use]
+    pub fn new(shield_keypair: EciesKeyPair) -> Self {
+        KeyStorage { shield_keypair, data_key: None }
+    }
+
+    /// Public half of the embedded Shield Encryption Key (published by
+    /// the IP Vendor; used by Data Owners to build Load Keys).
+    #[must_use]
+    pub fn shield_public(&self) -> EciesPublicKey {
+        self.shield_keypair.public_key()
+    }
+
+    /// Decrypts a Load Key and stores the Data Encryption Key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::Crypto`] if the Load Key was not encrypted
+    /// for this Shield.
+    pub fn provision(&mut self, load_key: &LoadKey) -> Result<(), ShefError> {
+        let master = ecies::decrypt(&self.shield_keypair, &load_key.0, LOAD_KEY_AD)?;
+        let master: [u8; 32] = master
+            .try_into()
+            .map_err(|_| ShefError::Malformed("load key payload must be 32 bytes".into()))?;
+        self.data_key = Some(DataEncryptionKey::from_bytes(master));
+        Ok(())
+    }
+
+    /// The provisioned Data Encryption Key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::KeyNotProvisioned`] before provisioning.
+    pub fn data_key(&self) -> Result<&DataEncryptionKey, ShefError> {
+        self.data_key
+            .as_ref()
+            .ok_or_else(|| ShefError::KeyNotProvisioned("data encryption key".into()))
+    }
+
+    /// True once a Load Key has been accepted.
+    #[must_use]
+    pub fn is_provisioned(&self) -> bool {
+        self.data_key.is_some()
+    }
+
+    /// Erases the ephemeral keys (end of session / tamper response).
+    pub fn zeroize(&mut self) {
+        self.data_key = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shield::config::{EngineSetConfig, MemRange, RegionConfig};
+
+    fn region(name: &str) -> RegionConfig {
+        RegionConfig {
+            name: name.into(),
+            range: MemRange::new(0, 4096),
+            engine_set: EngineSetConfig::default(),
+        }
+    }
+
+    #[test]
+    fn load_key_round_trip() {
+        let shield = EciesKeyPair::from_seed(b"shield");
+        let dek = DataEncryptionKey::from_bytes([9u8; 32]);
+        let lk = dek.to_load_key(&shield.public_key());
+        let mut storage = KeyStorage::new(shield);
+        assert!(!storage.is_provisioned());
+        storage.provision(&lk).unwrap();
+        assert!(storage.is_provisioned());
+        assert_eq!(storage.data_key().unwrap().to_bytes(), [9u8; 32]);
+    }
+
+    #[test]
+    fn load_key_for_wrong_shield_rejected() {
+        let shield_a = EciesKeyPair::from_seed(b"a");
+        let shield_b = EciesKeyPair::from_seed(b"b");
+        let dek = DataEncryptionKey::from_bytes([1u8; 32]);
+        let lk = dek.to_load_key(&shield_a.public_key());
+        let mut storage = KeyStorage::new(shield_b);
+        assert!(storage.provision(&lk).is_err());
+        assert!(!storage.is_provisioned());
+    }
+
+    #[test]
+    fn unprovisioned_access_fails() {
+        let storage = KeyStorage::new(EciesKeyPair::from_seed(b"s"));
+        assert!(matches!(
+            storage.data_key(),
+            Err(ShefError::KeyNotProvisioned(_))
+        ));
+    }
+
+    #[test]
+    fn per_region_keys_are_independent() {
+        let dek = DataEncryptionKey::from_bytes([5u8; 32]);
+        let ra = region("a");
+        let rb = region("b");
+        let mut ka = dek.region_key(&ra);
+        let kb = dek.region_key(&rb);
+        let sealed = ka.seal(b"data", b"");
+        assert!(kb.open(&sealed, b"").is_err(), "region keys must differ");
+        assert_ne!(dek.region_nonce(&ra), dek.region_nonce(&rb));
+    }
+
+    #[test]
+    fn derivations_are_deterministic() {
+        let d1 = DataEncryptionKey::from_bytes([5u8; 32]);
+        let d2 = DataEncryptionKey::from_bytes([5u8; 32]);
+        let r = region("x");
+        assert_eq!(d1.region_nonce(&r), d2.region_nonce(&r));
+        // Same key bytes → interoperable seal/open.
+        let mut k1 = d1.region_key(&r);
+        let k2 = d2.region_key(&r);
+        let sealed = k1.seal(b"payload", b"ad");
+        assert_eq!(k2.open(&sealed, b"ad").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn zeroize_clears_keys() {
+        let shield = EciesKeyPair::from_seed(b"shield");
+        let dek = DataEncryptionKey::from_bytes([9u8; 32]);
+        let lk = dek.to_load_key(&shield.public_key());
+        let mut storage = KeyStorage::new(shield);
+        storage.provision(&lk).unwrap();
+        storage.zeroize();
+        assert!(!storage.is_provisioned());
+    }
+
+    #[test]
+    fn load_key_wire_round_trip() {
+        let shield = EciesKeyPair::from_seed(b"shield");
+        let dek = DataEncryptionKey::from_bytes([3u8; 32]);
+        let lk = dek.to_load_key(&shield.public_key());
+        let parsed = LoadKey::from_bytes(&lk.to_bytes()).unwrap();
+        assert_eq!(parsed, lk);
+    }
+}

@@ -1,0 +1,154 @@
+//! Side-channel countermeasures (§5.2 "Side Channels").
+//!
+//! The paper offers three mitigations, all reproduced here:
+//!
+//! 1. **Controlled-channel attacks**: increasing `C_mem` reduces the
+//!    number of distinguishable data-dependent access addresses —
+//!    [`access_granularity_analysis`] quantifies that trade-off.
+//! 2. **Remote power analysis**: "ShEF provides a script to generate an
+//!    active fence of logic that hides sensitive power signals" —
+//!    [`ActiveFence::generate`] plans such a fence from the accelerator's
+//!    area profile (after Krautter et al., ICCAD'19).
+//! 3. **Timing**: the crypto engines are data-independent by
+//!    construction; [`timing_is_data_independent`] verifies the model's
+//!    cost functions never depend on plaintext contents.
+
+use crate::shield::area::Resources;
+use crate::shield::config::EngineSetConfig;
+use crate::shield::timing::chunk_crypto_cost;
+
+/// How many distinct chunk addresses a region exposes to an observer of
+/// the memory bus, for a given access trace.
+///
+/// Larger `C_mem` maps more plaintext addresses onto one observable
+/// chunk address, shrinking the controlled-channel alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GranularityReport {
+    /// Chunk size analysed.
+    pub chunk_size: usize,
+    /// Number of distinct observable chunk indices in the trace.
+    pub observable_addresses: usize,
+    /// Total accesses in the trace.
+    pub accesses: usize,
+}
+
+/// Analyses how many distinct chunk-level addresses a byte-address trace
+/// reveals under each candidate chunk size.
+#[must_use]
+pub fn access_granularity_analysis(
+    trace: &[u64],
+    chunk_sizes: &[usize],
+) -> Vec<GranularityReport> {
+    chunk_sizes
+        .iter()
+        .map(|&cs| {
+            let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for &addr in trace {
+                seen.insert(addr / cs as u64);
+            }
+            GranularityReport {
+                chunk_size: cs,
+                observable_addresses: seen.len(),
+                accesses: trace.len(),
+            }
+        })
+        .collect()
+}
+
+/// An active-fence plan: dummy switching logic sized to mask the
+/// accelerator's dynamic power signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveFence {
+    /// LUTs of ring-oscillator fence cells.
+    pub fence_luts: u64,
+    /// Registers toggled by the fence.
+    pub fence_regs: u64,
+    /// Duty-cycle modulation seed (decorrelates fence activity).
+    pub modulation_seed: u64,
+}
+
+impl ActiveFence {
+    /// Plans a fence covering `fraction_pct` percent of the protected
+    /// design's area (the evaluation in Krautter et al. uses ~25–50 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_pct` is zero or above 100.
+    #[must_use]
+    pub fn generate(design: &Resources, fraction_pct: u64, seed: u64) -> ActiveFence {
+        assert!(
+            (1..=100).contains(&fraction_pct),
+            "fence fraction must be 1–100 %"
+        );
+        ActiveFence {
+            fence_luts: design.lut * fraction_pct / 100,
+            fence_regs: design.reg * fraction_pct / 100,
+            modulation_seed: seed,
+        }
+    }
+
+    /// The fence's own area, to be added to the design's budget.
+    #[must_use]
+    pub fn area(&self) -> Resources {
+        Resources {
+            bram: 0,
+            lut: self.fence_luts,
+            reg: self.fence_regs,
+            ocm_bits: 0,
+        }
+    }
+}
+
+/// Verifies the engine cost model is independent of data *contents*:
+/// cost is a function of lengths and configuration only. This mirrors
+/// the paper's claim that "the timing of Shield cryptographic engines
+/// does not depend on any confidential information".
+#[must_use]
+pub fn timing_is_data_independent(cfg: &EngineSetConfig, len: usize) -> bool {
+    // The model takes only (cfg, len): two "different plaintexts" cannot
+    // even be expressed. We assert the cost is deterministic across
+    // repeated evaluation.
+    let a = chunk_crypto_cost(cfg, len);
+    let b = chunk_crypto_cost(cfg, len);
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_chunks_shrink_observable_alphabet() {
+        // A data-dependent lookup trace touching 64 distinct words.
+        let trace: Vec<u64> = (0..64u64).map(|i| i * 64).collect();
+        let reports = access_granularity_analysis(&trace, &[64, 512, 4096]);
+        assert_eq!(reports[0].observable_addresses, 64);
+        assert_eq!(reports[1].observable_addresses, 8);
+        assert_eq!(reports[2].observable_addresses, 1);
+        // Monotonic: bigger chunks never reveal more.
+        assert!(reports.windows(2).all(|w| w[1].observable_addresses <= w[0].observable_addresses));
+    }
+
+    #[test]
+    fn fence_scales_with_design() {
+        let design = Resources { bram: 0, lut: 10_000, reg: 20_000, ocm_bits: 0 };
+        let fence = ActiveFence::generate(&design, 25, 42);
+        assert_eq!(fence.fence_luts, 2_500);
+        assert_eq!(fence.fence_regs, 5_000);
+        assert_eq!(fence.area().lut, 2_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "1–100")]
+    fn zero_fence_rejected() {
+        let design = Resources::default();
+        let _ = ActiveFence::generate(&design, 0, 1);
+    }
+
+    #[test]
+    fn cost_model_is_data_independent() {
+        let cfg = EngineSetConfig::default();
+        assert!(timing_is_data_independent(&cfg, 512));
+        assert!(timing_is_data_independent(&cfg, 4096));
+    }
+}

@@ -1,0 +1,447 @@
+//! AES-128 / AES-256 block cipher (FIPS 197).
+//!
+//! This models the Shield's AES engine (§5.2.2): the engine "contains an
+//! internal 256-byte lookup table for the S-box" which can be "duplicated
+//! up to 16 times per engine, reducing the AES latency through parallel
+//! lookups at the cost of higher resource consumption". The software
+//! implementation here is correspondingly S-box based (no T-tables), and
+//! [`SBoxParallelism`] captures the duplication factor for the timing and
+//! area models in `shef-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use shef_crypto::aes::{Aes, AesKeySize};
+//!
+//! let aes = Aes::new_128(&[0u8; 16]);
+//! let ct = aes.encrypt_block(&[0u8; 16]);
+//! assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+//! assert_eq!(aes.key_size(), AesKeySize::Aes128);
+//! ```
+
+/// Bytes in one AES block.
+pub const AES_BLOCK_LEN: usize = 16;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// AES key size, selectable per Shield engine set at bitstream compile time
+/// ("users are also able to configure the AES key size (128 or 256 bits)
+/// during bitstream compilation", §5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AesKeySize {
+    /// 128-bit key, 10 rounds.
+    #[default]
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl AesKeySize {
+    /// Key length in bytes.
+    #[must_use]
+    pub fn key_len(self) -> usize {
+        match self {
+            AesKeySize::Aes128 => 16,
+            AesKeySize::Aes256 => 32,
+        }
+    }
+
+    /// Number of cipher rounds (excluding the initial AddRoundKey).
+    #[must_use]
+    pub fn rounds(self) -> usize {
+        match self {
+            AesKeySize::Aes128 => 10,
+            AesKeySize::Aes256 => 14,
+        }
+    }
+}
+
+impl core::fmt::Display for AesKeySize {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AesKeySize::Aes128 => write!(f, "AES-128"),
+            AesKeySize::Aes256 => write!(f, "AES-256"),
+        }
+    }
+}
+
+/// S-box duplication factor inside one Shield AES engine.
+///
+/// The Shield performs the 16 S-box lookups of an AES round through
+/// `factor` parallel copies of the lookup table, so one round takes
+/// `16 / factor` cycles (§5.2.2 and Table 1, "AES-4x"/"AES-16x").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SBoxParallelism {
+    /// One S-box: 16 lookups per round are serial.
+    X1,
+    /// Two parallel S-boxes.
+    X2,
+    /// Four parallel S-boxes (the paper's "AES/4x").
+    X4,
+    /// Eight parallel S-boxes.
+    X8,
+    /// Sixteen parallel S-boxes (the paper's "AES/16x").
+    X16,
+}
+
+impl SBoxParallelism {
+    /// Duplication factor as an integer.
+    #[must_use]
+    pub fn factor(self) -> u32 {
+        match self {
+            SBoxParallelism::X1 => 1,
+            SBoxParallelism::X2 => 2,
+            SBoxParallelism::X4 => 4,
+            SBoxParallelism::X8 => 8,
+            SBoxParallelism::X16 => 16,
+        }
+    }
+
+    /// Cycles for one AES round: 16 S-box lookups through `factor` tables.
+    #[must_use]
+    pub fn cycles_per_round(self) -> u64 {
+        (16 / self.factor()) as u64
+    }
+}
+
+impl core::fmt::Display for SBoxParallelism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x", self.factor())
+    }
+}
+
+/// An AES cipher instance with an expanded key schedule.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    key_size: AesKeySize,
+}
+
+impl core::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes").field("key_size", &self.key_size).finish_non_exhaustive()
+    }
+}
+
+impl Aes {
+    /// Creates an AES-128 instance.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, AesKeySize::Aes128)
+    }
+
+    /// Creates an AES-256 instance.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, AesKeySize::Aes256)
+    }
+
+    /// Creates an instance from a key slice whose length selects the variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` is not 16 or 32.
+    pub fn new(key: &[u8]) -> Self {
+        match key.len() {
+            16 => Self::new_128(key.try_into().expect("16-byte key")),
+            32 => Self::new_256(key.try_into().expect("32-byte key")),
+            n => panic!("AES key must be 16 or 32 bytes, got {n}"),
+        }
+    }
+
+    /// The key size this instance was constructed with.
+    #[must_use]
+    pub fn key_size(&self) -> AesKeySize {
+        self.key_size
+    }
+
+    fn expand(key: &[u8], key_size: AesKeySize) -> Self {
+        let nk = key.len() / 4; // words in key: 4 or 8
+        let rounds = key_size.rounds();
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for chunk in key.chunks_exact(4) {
+            w.push(chunk.try_into().expect("4-byte word"));
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|ws| {
+                let mut rk = [0u8; 16];
+                for (i, word) in ws.iter().enumerate() {
+                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, key_size }
+    }
+
+    /// Encrypts one 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rounds = self.key_size.rounds();
+        let mut state = *block;
+        xor_in_place(&mut state, &self.round_keys[0]);
+        for round in 1..rounds {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            xor_in_place(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        xor_in_place(&mut state, &self.round_keys[rounds]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rounds = self.key_size.rounds();
+        let mut state = *block;
+        xor_in_place(&mut state, &self.round_keys[rounds]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..rounds).rev() {
+            xor_in_place(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        xor_in_place(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+fn xor_in_place(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State layout is column-major as in FIPS 197: byte i is row i%4, col i/4.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[row + 4 * col] = s[row + 4 * ((col + row) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[row + 4 * ((col + row) % 4)] = s[row + 4 * col];
+        }
+    }
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial 0x11b.
+#[must_use]
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
+        state[4 * col] = gf_mul(c[0], 2) ^ gf_mul(c[1], 3) ^ c[2] ^ c[3];
+        state[4 * col + 1] = c[0] ^ gf_mul(c[1], 2) ^ gf_mul(c[2], 3) ^ c[3];
+        state[4 * col + 2] = c[0] ^ c[1] ^ gf_mul(c[2], 2) ^ gf_mul(c[3], 3);
+        state[4 * col + 3] = gf_mul(c[0], 3) ^ c[1] ^ c[2] ^ gf_mul(c[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
+        state[4 * col] = gf_mul(c[0], 14) ^ gf_mul(c[1], 11) ^ gf_mul(c[2], 13) ^ gf_mul(c[3], 9);
+        state[4 * col + 1] =
+            gf_mul(c[0], 9) ^ gf_mul(c[1], 14) ^ gf_mul(c[2], 11) ^ gf_mul(c[3], 13);
+        state[4 * col + 2] =
+            gf_mul(c[0], 13) ^ gf_mul(c[1], 9) ^ gf_mul(c[2], 14) ^ gf_mul(c[3], 11);
+        state[4 * col + 3] =
+            gf_mul(c[0], 11) ^ gf_mul(c[1], 13) ^ gf_mul(c[2], 9) ^ gf_mul(c[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_hex;
+
+    #[test]
+    fn fips197_aes128_example() {
+        // FIPS 197 Appendix C.1
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_128(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(crate::to_hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes256_example() {
+        // FIPS 197 Appendix C.3
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_256(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(crate::to_hex(&ct), "8ea2b7ca516745bfeafc49904b496089");
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn nist_aes128_ecb_kat() {
+        // SP 800-38A F.1.1, first block
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_128(&key);
+        assert_eq!(crate::to_hex(&aes.encrypt_block(&pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_random() {
+        // Deterministic pseudo-random coverage of both key sizes.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let mut key = [0u8; 32];
+            for chunk in key.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            let mut pt = [0u8; 16];
+            for chunk in pt.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            let aes128 = Aes::new_128(&key[..16].try_into().unwrap());
+            assert_eq!(aes128.decrypt_block(&aes128.encrypt_block(&pt)), pt);
+            let aes256 = Aes::new_256(&key);
+            assert_eq!(aes256.decrypt_block(&aes256.encrypt_block(&pt)), pt);
+        }
+    }
+
+    #[test]
+    fn sbox_parallelism_cycles() {
+        assert_eq!(SBoxParallelism::X4.cycles_per_round(), 4);
+        assert_eq!(SBoxParallelism::X16.cycles_per_round(), 1);
+        assert_eq!(SBoxParallelism::X1.cycles_per_round(), 16);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes::new_128(&[0xaa; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("aa"), "debug output must not contain key bytes: {dbg}");
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+}

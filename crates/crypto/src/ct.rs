@@ -1,0 +1,56 @@
+//! Constant-time comparison helpers.
+//!
+//! The Shield hardware compares MAC tags with a dedicated comparator whose
+//! latency is independent of the data (§5.2 "we ensure that the timing of
+//! Shield cryptographic engines does not depend on any confidential
+//! information"). This module is the software analogue.
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately only on length mismatch (lengths are public
+/// for every use in this workspace: tags and digests have fixed sizes).
+///
+/// # Example
+///
+/// ```
+/// assert!(shef_crypto::ct::eq(b"tag", b"tag"));
+/// assert!(!shef_crypto::ct::eq(b"tag", b"tam"));
+/// ```
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Selects `a` if `choice` is true, `b` otherwise, without branching on
+/// secret data.
+#[must_use]
+pub fn select_u64(choice: bool, a: u64, b: u64) -> u64 {
+    let mask = (choice as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_std() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn select_picks_correct_value() {
+        assert_eq!(select_u64(true, 7, 9), 7);
+        assert_eq!(select_u64(false, 7, 9), 9);
+    }
+}

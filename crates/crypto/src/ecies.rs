@@ -1,0 +1,236 @@
+//! Asymmetric encryption via ECIES (ephemeral X25519 + HKDF + AES-CTR/HMAC).
+//!
+//! ShEF uses asymmetric encryption in two places (Fig. 3):
+//!
+//! 1. The Data Owner encrypts each **Data Encryption Key** against the IP
+//!    Vendor's public **Shield Encryption Key**, producing the **Load
+//!    Key** that is sent through the untrusted host to the Shield
+//!    (step 8: `LoadKey = Enc_ShieldEncKey(DataEncKey)`).
+//! 2. Secure-channel bootstrap between parties that only know each
+//!    other's public keys.
+//!
+//! # Example
+//!
+//! ```
+//! use shef_crypto::ecies::{EciesKeyPair, encrypt, decrypt};
+//!
+//! let shield_key = EciesKeyPair::from_seed(b"shield-enc-key");
+//! let load_key = encrypt(&shield_key.public_key(), b"data-encryption-key", b"load-key");
+//! let opened = decrypt(&shield_key, &load_key, b"load-key").unwrap();
+//! assert_eq!(opened, b"data-encryption-key");
+//! ```
+
+use crate::authenc::{AuthEncKey, MacAlgorithm, Sealed};
+use crate::drbg::HmacDrbg;
+use crate::hkdf;
+use crate::x25519;
+use crate::CryptoError;
+
+/// An X25519 key pair used for ECIES.
+#[derive(Clone)]
+pub struct EciesKeyPair {
+    secret: [u8; 32],
+    public: [u8; 32],
+}
+
+impl core::fmt::Debug for EciesKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EciesKeyPair")
+            .field("public", &crate::to_hex(&self.public))
+            .finish_non_exhaustive()
+    }
+}
+
+impl EciesKeyPair {
+    /// Deterministically derives a key pair from seed material.
+    #[must_use]
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::from_seed(seed);
+        Self::generate(&mut drbg)
+    }
+
+    /// Generates a key pair from a DRBG.
+    #[must_use]
+    pub fn generate(rng: &mut HmacDrbg) -> Self {
+        let secret = x25519::clamp(rng.generate_array::<32>());
+        let public = x25519::public_key(&secret);
+        EciesKeyPair { secret, public }
+    }
+
+    /// The public half, safe to publish.
+    #[must_use]
+    pub fn public_key(&self) -> EciesPublicKey {
+        EciesPublicKey(self.public)
+    }
+
+    /// Raw Diffie–Hellman against an arbitrary peer public key.
+    #[must_use]
+    pub fn diffie_hellman(&self, peer: &EciesPublicKey) -> [u8; 32] {
+        x25519::shared_secret(&self.secret, &peer.0)
+    }
+}
+
+/// The public half of an [`EciesKeyPair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EciesPublicKey(pub [u8; 32]);
+
+/// An ECIES ciphertext: ephemeral public key + sealed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EciesCiphertext {
+    /// The sender's ephemeral X25519 public key.
+    pub ephemeral_public: [u8; 32],
+    /// The authenticated-encrypted payload.
+    pub sealed: Sealed,
+}
+
+impl EciesCiphertext {
+    /// Serializes as `ephemeral_public || sealed`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.sealed.ciphertext.len() + 28);
+        out.extend_from_slice(&self.ephemeral_public);
+        out.extend_from_slice(&self.sealed.to_bytes());
+        out
+    }
+
+    /// Parses the `to_bytes` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 32 {
+            return Err(CryptoError::InvalidLength);
+        }
+        Ok(EciesCiphertext {
+            ephemeral_public: bytes[..32].try_into().expect("32 bytes"),
+            sealed: Sealed::from_bytes(&bytes[32..])?,
+        })
+    }
+}
+
+fn session_key(shared: &[u8; 32], ephemeral_public: &[u8; 32], recipient: &[u8; 32]) -> AuthEncKey {
+    let mut ikm = Vec::with_capacity(96);
+    ikm.extend_from_slice(shared);
+    ikm.extend_from_slice(ephemeral_public);
+    ikm.extend_from_slice(recipient);
+    let key = hkdf::derive_key32(b"shef.ecies", &ikm, b"session");
+    AuthEncKey::from_bytes(key, MacAlgorithm::HmacSha256)
+}
+
+/// Encrypts `plaintext` to `recipient`, binding `associated_data`.
+///
+/// A fresh ephemeral key is derived deterministically from the plaintext
+/// and recipient via an internal DRBG — deterministic for experiment
+/// reproducibility while still unique per (message, recipient) pair.
+#[must_use]
+pub fn encrypt(
+    recipient: &EciesPublicKey,
+    plaintext: &[u8],
+    associated_data: &[u8],
+) -> EciesCiphertext {
+    let mut seed = Vec::with_capacity(64 + plaintext.len());
+    seed.extend_from_slice(b"shef.ecies.eph");
+    seed.extend_from_slice(&recipient.0);
+    seed.extend_from_slice(plaintext);
+    seed.extend_from_slice(associated_data);
+    let mut drbg = HmacDrbg::from_seed(&seed);
+    encrypt_with_rng(recipient, plaintext, associated_data, &mut drbg)
+}
+
+/// Encrypts with a caller-provided DRBG for the ephemeral key.
+#[must_use]
+pub fn encrypt_with_rng(
+    recipient: &EciesPublicKey,
+    plaintext: &[u8],
+    associated_data: &[u8],
+    rng: &mut HmacDrbg,
+) -> EciesCiphertext {
+    let ephemeral = EciesKeyPair::generate(rng);
+    let shared = ephemeral.diffie_hellman(recipient);
+    let mut key = session_key(&shared, &ephemeral.public, &recipient.0);
+    let sealed = key.seal(plaintext, associated_data);
+    EciesCiphertext {
+        ephemeral_public: ephemeral.public,
+        sealed,
+    }
+}
+
+/// Decrypts an ECIES ciphertext with the recipient's key pair.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::TagMismatch`] if the payload was tampered with
+/// or encrypted for a different key.
+pub fn decrypt(
+    recipient: &EciesKeyPair,
+    ciphertext: &EciesCiphertext,
+    associated_data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let shared = x25519::shared_secret(&recipient.secret, &ciphertext.ephemeral_public);
+    let key = session_key(&shared, &ciphertext.ephemeral_public, &recipient.public);
+    key.open(&ciphertext.sealed, associated_data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let kp = EciesKeyPair::from_seed(b"recipient");
+        let ct = encrypt(&kp.public_key(), b"data encryption key", b"load-key");
+        assert_eq!(decrypt(&kp, &ct, b"load-key").unwrap(), b"data encryption key");
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let kp1 = EciesKeyPair::from_seed(b"one");
+        let kp2 = EciesKeyPair::from_seed(b"two");
+        let ct = encrypt(&kp1.public_key(), b"secret", b"");
+        assert!(decrypt(&kp2, &ct, b"").is_err());
+    }
+
+    #[test]
+    fn tampered_payload_fails() {
+        let kp = EciesKeyPair::from_seed(b"r");
+        let mut ct = encrypt(&kp.public_key(), b"secret", b"");
+        ct.sealed.ciphertext[0] ^= 0xff;
+        assert!(decrypt(&kp, &ct, b"").is_err());
+    }
+
+    #[test]
+    fn wrong_associated_data_fails() {
+        let kp = EciesKeyPair::from_seed(b"r");
+        let ct = encrypt(&kp.public_key(), b"secret", b"context-a");
+        assert!(decrypt(&kp, &ct, b"context-b").is_err());
+    }
+
+    #[test]
+    fn wire_format_round_trip() {
+        let kp = EciesKeyPair::from_seed(b"r");
+        let ct = encrypt(&kp.public_key(), b"payload", b"ad");
+        let parsed = EciesCiphertext::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(parsed, ct);
+        assert_eq!(decrypt(&kp, &parsed, b"ad").unwrap(), b"payload");
+        assert!(EciesCiphertext::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn distinct_messages_distinct_ephemerals() {
+        let kp = EciesKeyPair::from_seed(b"r");
+        let a = encrypt(&kp.public_key(), b"message-a", b"");
+        let b = encrypt(&kp.public_key(), b"message-b", b"");
+        assert_ne!(a.ephemeral_public, b.ephemeral_public);
+    }
+
+    #[test]
+    fn dh_agreement_via_keypairs() {
+        let a = EciesKeyPair::from_seed(b"a");
+        let b = EciesKeyPair::from_seed(b"b");
+        assert_eq!(
+            a.diffie_hellman(&b.public_key()),
+            b.diffie_hellman(&a.public_key())
+        );
+    }
+}

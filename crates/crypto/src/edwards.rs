@@ -1,0 +1,309 @@
+//! The edwards25519 group: −x² + y² = 1 + d·x²y² over GF(2^255 − 19).
+//!
+//! Provides the point arithmetic behind [`crate::ed25519`]. Points use
+//! extended homogeneous coordinates (X : Y : Z : T) with x = X/Z,
+//! y = Y/Z, xy = T/Z, and the complete unified addition law, so the same
+//! formula handles doubling — favouring auditability over speed, which is
+//! appropriate for protocol-rate (not data-rate) operations.
+
+use std::sync::OnceLock;
+
+use crate::field25519::{sqrt_m1, FieldElement};
+
+/// A point on edwards25519.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+fn d() -> &'static FieldElement {
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    D.get_or_init(|| {
+        // d = -121665/121666 mod p
+        let num = FieldElement::from_u64(121_665).neg();
+        let den = FieldElement::from_u64(121_666);
+        num.mul(&den.invert())
+    })
+}
+
+fn d2() -> &'static FieldElement {
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    D2.get_or_init(|| d().add(d()))
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2), cross-multiplied.
+        let lx = self.x.mul(&other.z);
+        let rx = other.x.mul(&self.z);
+        let ly = self.y.mul(&other.z);
+        let ry = other.y.mul(&self.z);
+        lx == rx && ly == ry
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+impl Default for EdwardsPoint {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    #[must_use]
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point B (y = 4/5, x positive).
+    #[must_use]
+    pub fn basepoint() -> Self {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        *B.get_or_init(|| {
+            let mut compressed = [0x66u8; 32];
+            compressed[0] = 0x58;
+            EdwardsPoint::decompress(&compressed).expect("standard basepoint decodes")
+        })
+    }
+
+    /// Unified point addition (complete on this curve).
+    #[must_use]
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(d2()).mul(&other.t);
+        let dd = self.z.add(&self.z).mul(&other.z);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point doubling (via the unified law).
+    #[must_use]
+    pub fn double(&self) -> EdwardsPoint {
+        self.add(self)
+    }
+
+    /// Point negation.
+    #[must_use]
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication by a 256-bit little-endian integer.
+    ///
+    /// The scalar is *not* reduced modulo the group order: Ed25519 key
+    /// clamping produces integers in [2^254, 2^255) that are multiplied
+    /// directly.
+    #[must_use]
+    pub fn mul_bits(&self, scalar_le: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for byte in scalar_le.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Compresses to the standard 32-byte encoding: y with the sign of x
+    /// in the top bit.
+    #[must_use]
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding; `None` if it is not a valid point.
+    #[must_use]
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = FieldElement::from_bytes(&y_bytes);
+        // Reject non-canonical y encodings.
+        if y.to_bytes() != y_bytes {
+            return None;
+        }
+        // x² = (y² − 1) / (d·y² + 1)
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = d().mul(&yy).add(&FieldElement::ONE);
+        let x = recover_x(&u, &v)?;
+        let mut x = x;
+        if x.is_zero() && sign == 1 {
+            // -0 is not a valid encoding.
+            return None;
+        }
+        if (x.is_negative() as u8) != sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            t: x.mul(&y),
+            x,
+            y,
+            z: FieldElement::ONE,
+        })
+    }
+
+    /// True if this is the neutral element.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        *self == EdwardsPoint::identity()
+    }
+
+    /// True if the point has small order (order dividing 8). Used to
+    /// reject degenerate public keys in X25519-style checks.
+    #[must_use]
+    pub fn is_small_order(&self) -> bool {
+        self.double().double().double().is_identity()
+    }
+}
+
+/// Computes x with x²·v = u, if it exists.
+fn recover_x(u: &FieldElement, v: &FieldElement) -> Option<FieldElement> {
+    // candidate = u·v³·(u·v⁷)^((p−5)/8)
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    let candidate = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+    let check = v.mul(&candidate.square());
+    if check == *u {
+        Some(candidate)
+    } else if check == u.neg() {
+        Some(candidate.mul(&sqrt_m1()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        let b = EdwardsPoint::basepoint();
+        // Check −x² + y² = 1 + d·x²y² in affine coordinates.
+        let zinv = b.z.invert();
+        let x = b.x.mul(&zinv);
+        let y = b.y.mul(&zinv);
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(&xx);
+        let rhs = FieldElement::ONE.add(&d().mul(&xx).mul(&yy));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = EdwardsPoint::basepoint();
+        let id = EdwardsPoint::identity();
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.add(&b), b);
+        assert_eq!(b.add(&b.neg()), id);
+        assert!(id.is_identity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.double(), b.add(&b));
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = EdwardsPoint::basepoint();
+        let mut two = [0u8; 32];
+        two[0] = 2;
+        assert_eq!(b.mul_bits(&two), b.double());
+        let mut five = [0u8; 32];
+        five[0] = 5;
+        let by_add = b.double().double().add(&b);
+        assert_eq!(b.mul_bits(&five), by_add);
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        let b = EdwardsPoint::basepoint();
+        let mut p = b;
+        for _ in 0..16 {
+            let compressed = p.compress();
+            let q = EdwardsPoint::decompress(&compressed).expect("valid point");
+            assert_eq!(p, q);
+            p = p.add(&b);
+        }
+    }
+
+    #[test]
+    fn basepoint_has_expected_encoding() {
+        let mut expected = [0x66u8; 32];
+        expected[0] = 0x58;
+        assert_eq!(EdwardsPoint::basepoint().compress(), expected);
+    }
+
+    #[test]
+    fn scalar_mul_by_group_order_is_identity() {
+        // ℓ · B = identity.
+        let l_bytes: [u8; 32] = {
+            let mut b = [0u8; 32];
+            let limbs: [u64; 4] = [
+                0x5812_631a_5cf5_d3ed,
+                0x14de_f9de_a2f7_9cd6,
+                0,
+                0x1000_0000_0000_0000,
+            ];
+            for (i, limb) in limbs.iter().enumerate() {
+                b[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+            }
+            b
+        };
+        assert!(EdwardsPoint::basepoint().mul_bits(&l_bytes).is_identity());
+    }
+
+    #[test]
+    fn rejects_invalid_encodings() {
+        // Use a guaranteed-non-canonical encoding: y = p (encodes zero
+        // non-canonically).
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(EdwardsPoint::decompress(&p_bytes).is_none());
+    }
+
+    #[test]
+    fn small_order_detection() {
+        assert!(EdwardsPoint::identity().is_small_order());
+        assert!(!EdwardsPoint::basepoint().is_small_order());
+    }
+}

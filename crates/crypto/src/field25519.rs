@@ -1,0 +1,350 @@
+//! Arithmetic in GF(2^255 − 19), the field underlying Curve25519.
+//!
+//! Elements are represented with five 51-bit limbs, the standard radix-51
+//! representation. This backs both [`crate::x25519`] (the attestation
+//! session-key exchange) and [`crate::ed25519`] (device/attestation
+//! signatures).
+
+use crate::ct;
+
+const MASK_51: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 − 19).
+///
+/// Invariant: limbs are kept below 2^52 between operations; callers never
+/// observe non-canonical values because [`FieldElement::to_bytes`]
+/// performs a full canonical reduction.
+#[derive(Clone, Copy)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl core::fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FieldElement({})", crate::to_hex(&self.to_bytes()))
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        ct::eq(&self.to_bytes(), &other.to_bytes())
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl Default for FieldElement {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Constructs an element from a little-endian 32-byte encoding,
+    /// ignoring the top bit (as specified for Curve25519 field encodings).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load = |range: core::ops::Range<usize>| -> u64 {
+            let mut v = 0u64;
+            for (i, b) in bytes[range].iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            v
+        };
+        // 51-bit windows over the 255-bit little-endian integer.
+        let l0 = load(0..8) & MASK_51;
+        let l1 = (load(6..14) >> 3) & MASK_51;
+        let l2 = (load(12..20) >> 6) & MASK_51;
+        let l3 = (load(19..27) >> 1) & MASK_51;
+        let l4 = (load(24..32) >> 12) & MASK_51;
+        FieldElement([l0, l1, l2, l3, l4])
+    }
+
+    /// Constructs an element from a small integer.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        let mut fe = FieldElement([0; 5]);
+        fe.0[0] = v & MASK_51;
+        fe.0[1] = v >> 51;
+        fe
+    }
+
+    /// Returns the canonical little-endian 32-byte encoding.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        // First bring limbs below 2^51 via two carry passes.
+        let mut l = self.carry().0;
+        // Compute q = 1 iff the value is >= p, then add 19q and drop bit 255.
+        let mut q = (l[0].wrapping_add(19)) >> 51;
+        q = (l[1].wrapping_add(q)) >> 51;
+        q = (l[2].wrapping_add(q)) >> 51;
+        q = (l[3].wrapping_add(q)) >> 51;
+        q = (l[4].wrapping_add(q)) >> 51;
+        l[0] = l[0].wrapping_add(19 * q);
+        let mut carry = l[0] >> 51;
+        l[0] &= MASK_51;
+        for limb in l.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(carry);
+            carry = *limb >> 51;
+            *limb &= MASK_51;
+        }
+        // carry (the 2^255 bit) is discarded: value is now < p.
+        let mut out = [0u8; 32];
+        let put = |out: &mut [u8; 32], bit_off: usize, v: u64| {
+            for i in 0..8 {
+                let byte = bit_off / 8 + i;
+                if byte < 32 {
+                    out[byte] |= ((v << (bit_off % 8)) >> (8 * i)) as u8;
+                }
+            }
+        };
+        put(&mut out, 0, l[0]);
+        put(&mut out, 51, l[1]);
+        put(&mut out, 102, l[2]);
+        put(&mut out, 153, l[3]);
+        put(&mut out, 204, l[4]);
+        out
+    }
+
+    fn carry(self) -> Self {
+        let mut l = self.0;
+        for _ in 0..2 {
+            let mut carry = 0u64;
+            for limb in l.iter_mut() {
+                let v = limb.wrapping_add(carry);
+                carry = v >> 51;
+                *limb = v & MASK_51;
+            }
+            l[0] = l[0].wrapping_add(19 * carry);
+        }
+        FieldElement(l)
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut l = [0u64; 5];
+        for (out, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *out = a + b;
+        }
+        FieldElement(l).carry()
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 16p before subtracting to keep limbs non-negative.
+        const P16: [u64; 5] = [
+            36028797018963664, // 16 * (2^51 - 19)
+            36028797018963952, // 16 * (2^51 - 1)
+            36028797018963952,
+            36028797018963952,
+            36028797018963952,
+        ];
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + P16[i] - rhs.0[i];
+        }
+        FieldElement(l).carry()
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = self.0.map(|x| x as u128);
+        let b = rhs.0.map(|x| x as u128);
+        let c0 = a[0] * b[0] + 19 * (a[1] * b[4] + a[2] * b[3] + a[3] * b[2] + a[4] * b[1]);
+        let c1 = a[0] * b[1] + a[1] * b[0] + 19 * (a[2] * b[4] + a[3] * b[3] + a[4] * b[2]);
+        let c2 = a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + 19 * (a[3] * b[4] + a[4] * b[3]);
+        let c3 = a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + 19 * (a[4] * b[4]);
+        let c4 = a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0];
+        Self::reduce_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Multiplication by a small scalar (used by the X25519 ladder's
+    /// a24 = 121665 term).
+    #[must_use]
+    pub fn mul_small(&self, k: u32) -> FieldElement {
+        let k = k as u128;
+        let a = self.0.map(|x| x as u128);
+        Self::reduce_wide([a[0] * k, a[1] * k, a[2] * k, a[3] * k, a[4] * k])
+    }
+
+    fn reduce_wide(mut c: [u128; 5]) -> FieldElement {
+        let mut l = [0u64; 5];
+        // Two carry passes bring each limb below 2^52.
+        for _ in 0..2 {
+            let mut carry: u128 = 0;
+            for limb in c.iter_mut() {
+                let v = *limb + carry;
+                carry = v >> 51;
+                *limb = v & (MASK_51 as u128);
+            }
+            c[0] += 19 * carry;
+        }
+        for i in 0..5 {
+            l[i] = c[i] as u64;
+        }
+        FieldElement(l).carry()
+    }
+
+    /// Raises the element to the power given as a big-endian byte string.
+    #[must_use]
+    pub fn pow_be(&self, exponent: &[u8]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        for byte in exponent {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (x^(p−2)).
+    ///
+    /// Returns zero for zero input.
+    #[must_use]
+    pub fn invert(&self) -> FieldElement {
+        // p - 2 = 2^255 - 21, big-endian.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0x7f;
+        exp[31] = 0xeb;
+        self.pow_be(&exp)
+    }
+
+    /// x^((p−5)/8), the core exponentiation of the Ed25519 decompression
+    /// square-root computation.
+    #[must_use]
+    pub fn pow_p58(&self) -> FieldElement {
+        // (p - 5) / 8 = 2^252 - 3, big-endian.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0x0f;
+        exp[31] = 0xfd;
+        self.pow_be(&exp)
+    }
+
+    /// True if the element is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        ct::eq(&self.to_bytes(), &[0u8; 32])
+    }
+
+    /// The "sign" bit used by point compression: the low bit of the
+    /// canonical encoding.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+}
+
+/// √−1 in the field, needed for Ed25519 point decompression.
+#[must_use]
+pub fn sqrt_m1() -> FieldElement {
+    // 2^((p-1)/4): (p - 1) / 4 = 2^253 - 5, big-endian.
+    let mut exp = [0xffu8; 32];
+    exp[0] = 0x1f;
+    exp[31] = 0xfb;
+    FieldElement::from_u64(2).pow_be(&exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn encoding_round_trip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(1);
+        }
+        bytes[31] &= 0x7f;
+        let x = FieldElement::from_bytes(&bytes);
+        assert_eq!(x.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = fe(12345);
+        let b = fe(99999);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn small_multiplication() {
+        assert_eq!(fe(6).mul(&fe(7)), fe(42));
+        assert_eq!(fe(6).mul_small(7), fe(42));
+        assert_eq!(fe(5).square(), fe(25));
+    }
+
+    #[test]
+    fn p_encodes_as_zero() {
+        // p = 2^255 - 19 must canonically encode as 0.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = FieldElement::from_bytes(&p_bytes);
+        assert_eq!(p.to_bytes(), [0u8; 32]);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn minus_one_times_minus_one() {
+        let minus_one = FieldElement::ZERO.sub(&FieldElement::ONE);
+        assert_eq!(minus_one.mul(&minus_one), FieldElement::ONE);
+    }
+
+    #[test]
+    fn inversion() {
+        let a = fe(1234567);
+        assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+        assert!(FieldElement::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        let minus_one = FieldElement::ZERO.sub(&FieldElement::ONE);
+        assert_eq!(i.square(), minus_one);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = fe(0xdead_beef);
+        let b = fe(0xcafe_f00d);
+        let c = fe(0x1234_5678);
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn negation() {
+        let a = fe(77);
+        assert_eq!(a.add(&a.neg()), FieldElement::ZERO);
+        assert!(!fe(2).is_negative());
+        assert!(fe(1).is_negative());
+    }
+}

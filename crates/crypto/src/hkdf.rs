@@ -1,0 +1,97 @@
+//! HKDF-SHA256 (RFC 5869): extract-and-expand key derivation.
+//!
+//! ShEF derives symmetric working keys from Diffie–Hellman shared secrets
+//! (the attestation `SessionKey`) and splits master keys into
+//! encryption/MAC subkeys for the Shield's engine sets.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: compresses input keying material into a pseudorandom key.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `out_len` bytes of output keying material.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32` (the RFC 5869 limit).
+#[must_use]
+pub fn expand(prk: &[u8; 32], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output too long");
+    let mut okm = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < out_len {
+        let mut input = t.clone();
+        input.extend_from_slice(info);
+        input.push(counter);
+        t = hmac_sha256(prk, &input).to_vec();
+        let take = (out_len - okm.len()).min(32);
+        okm.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    okm
+}
+
+/// One-shot extract-then-expand.
+#[must_use]
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, out_len)
+}
+
+/// Derives a fixed 32-byte key; convenience for the common case.
+#[must_use]
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    derive(salt, ikm, info, 32).try_into().expect("32 bytes requested")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_hex, to_hex};
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b").unwrap();
+        let salt = from_hex("000102030405060708090a0b0c").unwrap();
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_test_case_3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let k1 = derive_key32(b"salt", b"ikm", b"encryption");
+        let k2 = derive_key32(b"salt", b"ikm", b"authentication");
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn long_output() {
+        let okm = derive(b"s", b"k", b"i", 100);
+        assert_eq!(okm.len(), 100);
+        // Prefix property: shorter output is a prefix of longer output.
+        let short = derive(b"s", b"k", b"i", 32);
+        assert_eq!(&okm[..32], &short[..]);
+    }
+}

@@ -1,0 +1,188 @@
+//! A complete board: FPGA device + host CPU + external boot medium.
+//!
+//! [`Board`] is the unit the four ShEF parties interact with: the
+//! Manufacturer provisions its key store and firmware, the CSP racks it
+//! and loads the Shell, the Data Owner programs accelerators and streams
+//! data (Fig. 2).
+
+use std::collections::BTreeMap;
+
+use crate::clock::ClockDomain;
+use crate::dram::Dram;
+use crate::fabric::Fabric;
+use crate::host::HostCpu;
+use crate::keystore::KeyStore;
+use crate::ports::DebugPorts;
+use crate::processor::{ProcessorKind, SecurityKernelProcessor};
+use crate::shell::Shell;
+use crate::spb::Spb;
+use crate::FpgaError;
+
+/// External non-volatile storage the device boots from: holds the
+/// encrypted SPB firmware, the Security Kernel binary, and staged
+/// (encrypted) bitstreams. The adversary can rewrite it — which is why
+/// every image is authenticated before use.
+#[derive(Debug, Default)]
+pub struct BootMedium {
+    images: BTreeMap<String, Vec<u8>>,
+}
+
+/// Well-known image names on the boot medium.
+pub mod image_names {
+    /// Encrypted SPB firmware (Manufacturer).
+    pub const SPB_FIRMWARE: &str = "spb-firmware";
+    /// Security Kernel binary (open source, unencrypted; measured at boot).
+    pub const SECURITY_KERNEL: &str = "security-kernel";
+    /// Staged encrypted accelerator bitstream (Data Owner).
+    pub const ACCELERATOR_BITSTREAM: &str = "accelerator-bitstream";
+}
+
+impl BootMedium {
+    /// Creates an empty medium.
+    #[must_use]
+    pub fn new() -> Self {
+        BootMedium::default()
+    }
+
+    /// Writes (or replaces) an image.
+    pub fn store(&mut self, name: &str, image: Vec<u8>) {
+        self.images.insert(name.to_owned(), image);
+    }
+
+    /// Reads an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::MissingImage`] if absent.
+    pub fn load(&self, name: &str) -> Result<&[u8], FpgaError> {
+        self.images
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| FpgaError::MissingImage(name.to_owned()))
+    }
+
+    /// Lists stored image names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.images.keys().map(String::as_str)
+    }
+}
+
+/// The FPGA device proper.
+#[derive(Debug)]
+pub struct Device {
+    /// e-fuse / BBRAM key storage.
+    pub keystore: KeyStore,
+    /// Security Processor Block.
+    pub spb: Spb,
+    /// Dedicated Security-Kernel processor.
+    pub sk_processor: SecurityKernelProcessor,
+    /// Programmable fabric.
+    pub fabric: Fabric,
+    /// Device DRAM.
+    pub dram: Dram,
+    /// Debug ports and tamper monitors.
+    pub ports: DebugPorts,
+    /// Fabric clock domain.
+    pub clock: ClockDomain,
+    die_serial: Vec<u8>,
+}
+
+impl Device {
+    /// Creates a fresh (un-provisioned) device with the given die serial.
+    #[must_use]
+    pub fn new(die_serial: &[u8]) -> Self {
+        Device {
+            keystore: KeyStore::new(die_serial),
+            spb: Spb::new(),
+            sk_processor: SecurityKernelProcessor::new(ProcessorKind::HardenedCore),
+            fabric: Fabric::new(),
+            dram: Dram::f1_default(),
+            ports: DebugPorts::new(),
+            clock: ClockDomain::F1_DEFAULT,
+            die_serial: die_serial.to_vec(),
+        }
+    }
+
+    /// The die serial (public; printed on the package).
+    #[must_use]
+    pub fn die_serial(&self) -> &[u8] {
+        &self.die_serial
+    }
+
+    /// Power-cycles the device: resets SPB, processor, fabric, ports and
+    /// unlocks the key store for the next BootROM pass. DRAM contents
+    /// survive (DDR4 retains data across FPGA reconfiguration on F1).
+    pub fn power_cycle(&mut self) {
+        self.spb.reset();
+        self.sk_processor.reset();
+        self.fabric.reset();
+        self.ports.reset();
+        self.keystore.unlock_on_reset();
+    }
+}
+
+/// A full F1-like instance.
+#[derive(Debug)]
+pub struct Board {
+    /// The FPGA device.
+    pub device: Device,
+    /// The untrusted host CPU.
+    pub host: HostCpu,
+    /// The (untrusted) Shell data path. Stored at board level because the
+    /// Shell's DMA engine bridges host and device.
+    pub shell: Shell,
+    /// External boot storage.
+    pub boot_medium: BootMedium,
+}
+
+impl Board {
+    /// Creates a board around a fresh device.
+    #[must_use]
+    pub fn new(die_serial: &[u8]) -> Self {
+        Board {
+            device: Device::new(die_serial),
+            host: HostCpu::new(),
+            shell: Shell::new(),
+            boot_medium: BootMedium::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keystore::KeyProtection;
+
+    #[test]
+    fn boot_medium_round_trip() {
+        let mut m = BootMedium::new();
+        assert!(m.load("missing").is_err());
+        m.store(image_names::SECURITY_KERNEL, vec![1, 2, 3]);
+        assert_eq!(m.load(image_names::SECURITY_KERNEL).unwrap(), &[1, 2, 3]);
+        assert_eq!(m.names().collect::<Vec<_>>(), vec![image_names::SECURITY_KERNEL]);
+    }
+
+    #[test]
+    fn power_cycle_resets_but_keeps_dram_and_keys() {
+        let mut board = Board::new(b"die-42");
+        board
+            .device
+            .keystore
+            .burn_aes_key([1u8; 32], KeyProtection::EFuse)
+            .unwrap();
+        board.device.keystore.lock();
+        board.device.dram.tamper_write(0, b"persist");
+        board.device.ports.arm_monitors();
+        board.device.power_cycle();
+        assert!(!board.device.ports.monitors_armed());
+        assert!(board.device.keystore.is_burned());
+        // Key store is readable again by BootROM after reset.
+        assert_eq!(board.device.dram.tamper_read(0, 7), b"persist");
+    }
+
+    #[test]
+    fn die_serial_is_stable() {
+        let board = Board::new(b"serial-xyz");
+        assert_eq!(board.device.die_serial(), b"serial-xyz");
+    }
+}

@@ -1,0 +1,200 @@
+//! The programmable fabric: static Shell region + partial-reconfiguration
+//! region.
+//!
+//! §2.3: "An F1 instance is configured with two partial bitstreams: one
+//! belonging to the CSP which contains the Shell logic, and one belonging
+//! to the user's accelerator design. … The Shell is static logic and
+//! continuously runs on the FPGA. … users leverage a command line
+//! interface to dynamically program their chosen partial bitstream onto
+//! the remaining reconfigurable region."
+//!
+//! In ShEF the Security Kernel "mediates all access to the FPGA fabric"
+//! (§3 step 9): only it may call [`Fabric::load_partial`]. Direct ICAP
+//! loading is the attack path, gated by the tamper monitors.
+
+use shef_crypto::sha2::Sha256;
+
+use crate::ports::{DebugPort, DebugPorts, PortAccessOutcome};
+use crate::FpgaError;
+
+/// A design loaded into the PR region: opaque payload (interpreted by
+/// `shef-core::bitstream`) plus its measurement.
+#[derive(Debug, Clone)]
+pub struct LoadedDesign {
+    /// Raw plaintext bitstream bytes.
+    pub payload: Vec<u8>,
+    /// SHA-256 of the payload, measured at load time.
+    pub hash: [u8; 32],
+}
+
+/// Information about the loaded Shell image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellImage {
+    /// CSP-assigned shell version string.
+    pub version: String,
+    /// Measurement of the shell bitstream.
+    pub hash: [u8; 32],
+}
+
+/// The programmable fabric.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    shell: Option<ShellImage>,
+    partial: Option<LoadedDesign>,
+    load_count: u64,
+}
+
+impl Fabric {
+    /// Creates an empty (unconfigured) fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Loads the CSP Shell into the static region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::Fabric`] if a shell is already resident (the
+    /// static region is programmed once per power cycle).
+    pub fn load_shell(&mut self, version: &str, bitstream: &[u8]) -> Result<(), FpgaError> {
+        if self.shell.is_some() {
+            return Err(FpgaError::Fabric("shell already loaded".into()));
+        }
+        self.shell = Some(ShellImage {
+            version: version.to_owned(),
+            hash: Sha256::digest(bitstream),
+        });
+        Ok(())
+    }
+
+    /// The resident shell, if loaded.
+    #[must_use]
+    pub fn shell(&self) -> Option<&ShellImage> {
+        self.shell.as_ref()
+    }
+
+    /// Loads a plaintext partial bitstream into the PR region. This is
+    /// the mediated path used by the Security Kernel after decrypting the
+    /// IP Vendor's bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::Fabric`] if the Shell is not resident (the PR
+    /// region's I/O has nowhere to connect).
+    pub fn load_partial(&mut self, payload: Vec<u8>) -> Result<[u8; 32], FpgaError> {
+        if self.shell.is_none() {
+            return Err(FpgaError::Fabric(
+                "cannot program PR region before the shell is loaded".into(),
+            ));
+        }
+        let hash = Sha256::digest(&payload);
+        self.partial = Some(LoadedDesign { payload, hash });
+        self.load_count += 1;
+        Ok(hash)
+    }
+
+    /// The design currently in the PR region.
+    #[must_use]
+    pub fn partial(&self) -> Option<&LoadedDesign> {
+        self.partial.as_ref()
+    }
+
+    /// Number of successful PR loads since power-up.
+    #[must_use]
+    pub fn load_count(&self) -> u64 {
+        self.load_count
+    }
+
+    /// Clears the PR region.
+    pub fn clear_partial(&mut self) {
+        self.partial = None;
+    }
+
+    /// An adversary attempts to reprogram the PR region directly through
+    /// ICAP, bypassing the Security Kernel. Succeeds only if the tamper
+    /// monitors are disarmed.
+    pub fn adversarial_icap_load(
+        &mut self,
+        ports: &mut DebugPorts,
+        payload: Vec<u8>,
+    ) -> PortAccessOutcome {
+        match ports.adversarial_access(DebugPort::Icap, "direct ICAP partial reconfiguration") {
+            PortAccessOutcome::BlockedAndLogged => PortAccessOutcome::BlockedAndLogged,
+            PortAccessOutcome::Succeeded => {
+                let hash = Sha256::digest(&payload);
+                self.partial = Some(LoadedDesign { payload, hash });
+                PortAccessOutcome::Succeeded
+            }
+        }
+    }
+
+    /// Power-cycle reset: clears both regions.
+    pub fn reset(&mut self) {
+        self.shell = None;
+        self.partial = None;
+        self.load_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell_then_partial() {
+        let mut fabric = Fabric::new();
+        assert!(fabric.load_partial(vec![1, 2, 3]).is_err());
+        fabric.load_shell("aws-f1-shell-v1.4", b"shell bits").unwrap();
+        let hash = fabric.load_partial(vec![1, 2, 3]).unwrap();
+        assert_eq!(hash, Sha256::digest(&[1, 2, 3]));
+        assert_eq!(fabric.partial().unwrap().payload, vec![1, 2, 3]);
+        assert_eq!(fabric.load_count(), 1);
+    }
+
+    #[test]
+    fn shell_loads_once() {
+        let mut fabric = Fabric::new();
+        fabric.load_shell("v1", b"a").unwrap();
+        assert!(fabric.load_shell("v2", b"b").is_err());
+        assert_eq!(fabric.shell().unwrap().version, "v1");
+    }
+
+    #[test]
+    fn icap_attack_blocked_when_monitored() {
+        let mut fabric = Fabric::new();
+        let mut ports = DebugPorts::new();
+        fabric.load_shell("v1", b"s").unwrap();
+        fabric.load_partial(vec![7; 8]).unwrap();
+        ports.arm_monitors();
+        let outcome = fabric.adversarial_icap_load(&mut ports, vec![6; 8]);
+        assert_eq!(outcome, PortAccessOutcome::BlockedAndLogged);
+        // Design unchanged.
+        assert_eq!(fabric.partial().unwrap().payload, vec![7; 8]);
+        assert_eq!(ports.pending_events().len(), 1);
+    }
+
+    #[test]
+    fn icap_attack_succeeds_when_unmonitored() {
+        // Without the Security Kernel's continuous monitoring, the PR
+        // region can be silently replaced — the motivating gap.
+        let mut fabric = Fabric::new();
+        let mut ports = DebugPorts::new();
+        fabric.load_shell("v1", b"s").unwrap();
+        fabric.load_partial(vec![7; 8]).unwrap();
+        let outcome = fabric.adversarial_icap_load(&mut ports, vec![6; 8]);
+        assert_eq!(outcome, PortAccessOutcome::Succeeded);
+        assert_eq!(fabric.partial().unwrap().payload, vec![6; 8]);
+    }
+
+    #[test]
+    fn reset_clears_regions() {
+        let mut fabric = Fabric::new();
+        fabric.load_shell("v1", b"s").unwrap();
+        fabric.load_partial(vec![1]).unwrap();
+        fabric.reset();
+        assert!(fabric.shell().is_none());
+        assert!(fabric.partial().is_none());
+        assert_eq!(fabric.load_count(), 0);
+    }
+}

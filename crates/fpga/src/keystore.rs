@@ -1,0 +1,258 @@
+//! On-chip device key storage: e-fuses / BBRAM with optional PUF wrap.
+//!
+//! §2.2: "The SPB has access to two pieces of information embedded in
+//! secure, on-chip, non-volatile storage: an AES key and the hash of a
+//! public … key. The AES key can be further encrypted via a
+//! physically-unclonable function (PUF), preventing the AES key from
+//! being compromised under physical attacks."
+//!
+//! ShEF's manufacturing step burns the AES device key here (§3 step 1).
+//! The key is readable only by the [`crate::spb`] BootROM path; the
+//! simulation enforces that by simply not exposing a public getter — the
+//! only consumer is `Spb`, which lives in this crate.
+
+use shef_crypto::drbg::HmacDrbg;
+
+use crate::FpgaError;
+
+/// How the burned AES key is protected at rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyProtection {
+    /// Raw e-fuse storage.
+    #[default]
+    EFuse,
+    /// e-fuse value wrapped by the device PUF: physical extraction of the
+    /// fuse bits alone does not reveal the key.
+    PufWrapped,
+}
+
+/// A model of a device-unique physically-unclonable function.
+///
+/// Each device instance derives a hidden silicon secret; `wrap`/`unwrap`
+/// XOR a key with a PRF of that secret. Reading the fuses of a
+/// PUF-wrapped key without the silicon yields only the wrapped value.
+#[derive(Clone)]
+pub struct Puf {
+    silicon_secret: [u8; 32],
+}
+
+impl core::fmt::Debug for Puf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Puf").finish_non_exhaustive()
+    }
+}
+
+impl Puf {
+    /// Derives a device-unique PUF from the die serial.
+    #[must_use]
+    pub fn from_die_serial(serial: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::from_seed(serial);
+        drbg.reseed(b"shef.fpga.puf");
+        Puf {
+            silicon_secret: drbg.generate_array::<32>(),
+        }
+    }
+
+    fn pad(&self) -> [u8; 32] {
+        let mut drbg = HmacDrbg::from_seed(&self.silicon_secret);
+        drbg.generate_array::<32>()
+    }
+
+    /// Wraps (encrypts) a key with the silicon secret.
+    #[must_use]
+    pub fn wrap(&self, key: &[u8; 32]) -> [u8; 32] {
+        let pad = self.pad();
+        core::array::from_fn(|i| key[i] ^ pad[i])
+    }
+
+    /// Unwraps a previously wrapped key.
+    #[must_use]
+    pub fn unwrap_key(&self, wrapped: &[u8; 32]) -> [u8; 32] {
+        // XOR wrap is an involution.
+        self.wrap(wrapped)
+    }
+}
+
+/// The device key store: burn-once AES device key plus the public-key
+/// hash slot conventional FPGA security uses.
+pub struct KeyStore {
+    puf: Puf,
+    protection: KeyProtection,
+    stored: Option<[u8; 32]>,
+    pubkey_hash: Option<[u8; 32]>,
+    read_locked: bool,
+}
+
+impl core::fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyStore")
+            .field("protection", &self.protection)
+            .field("burned", &self.stored.is_some())
+            .field("read_locked", &self.read_locked)
+            .finish()
+    }
+}
+
+impl KeyStore {
+    /// Creates an unburned key store for a device with the given die
+    /// serial.
+    #[must_use]
+    pub fn new(die_serial: &[u8]) -> Self {
+        KeyStore {
+            puf: Puf::from_die_serial(die_serial),
+            protection: KeyProtection::default(),
+            stored: None,
+            pubkey_hash: None,
+            read_locked: false,
+        }
+    }
+
+    /// Burns the AES device key. This is the Manufacturer's step 1 in
+    /// Fig. 2 and can happen exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::KeyStore`] if a key was already burned.
+    pub fn burn_aes_key(
+        &mut self,
+        key: [u8; 32],
+        protection: KeyProtection,
+    ) -> Result<(), FpgaError> {
+        if self.stored.is_some() {
+            return Err(FpgaError::KeyStore("AES device key already burned".into()));
+        }
+        self.protection = protection;
+        self.stored = Some(match protection {
+            KeyProtection::EFuse => key,
+            KeyProtection::PufWrapped => self.puf.wrap(&key),
+        });
+        Ok(())
+    }
+
+    /// Stores the hash of the developer public key (conventional flow,
+    /// §2.2). Unused by ShEF itself but kept for fidelity.
+    pub fn set_pubkey_hash(&mut self, hash: [u8; 32]) {
+        self.pubkey_hash = Some(hash);
+    }
+
+    /// The stored public-key hash, if any.
+    #[must_use]
+    pub fn pubkey_hash(&self) -> Option<[u8; 32]> {
+        self.pubkey_hash
+    }
+
+    /// True once a key has been burned.
+    #[must_use]
+    pub fn is_burned(&self) -> bool {
+        self.stored.is_some()
+    }
+
+    /// Locks the key against further reads (the SPB does this after
+    /// boot so runtime logic can never extract the device key).
+    pub fn lock(&mut self) {
+        self.read_locked = true;
+    }
+
+    /// Unlocks on power cycle — the hardware reset path. Called by
+    /// [`crate::board::Device::power_cycle`]; modelling code may call it
+    /// directly to simulate a reset of an isolated key store.
+    pub fn unlock_on_reset(&mut self) {
+        self.read_locked = false;
+    }
+
+    /// Reads the AES device key. Only the SPB BootROM path may call this;
+    /// it is crate-private to enforce the hardware's isolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::KeyStore`] if no key is burned or the store
+    /// is locked.
+    pub(crate) fn read_aes_key(&self) -> Result<[u8; 32], FpgaError> {
+        if self.read_locked {
+            return Err(FpgaError::KeyStore("key store locked".into()));
+        }
+        let stored = self
+            .stored
+            .ok_or_else(|| FpgaError::KeyStore("no AES device key burned".into()))?;
+        Ok(match self.protection {
+            KeyProtection::EFuse => stored,
+            KeyProtection::PufWrapped => self.puf.unwrap_key(&stored),
+        })
+    }
+
+    /// Adversarial fuse readout: what a physical attacker extracting the
+    /// e-fuse bits would observe. For PUF-wrapped keys this is *not* the
+    /// key.
+    #[must_use]
+    pub fn tamper_read_fuses(&self) -> Option<[u8; 32]> {
+        self.stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_once_semantics() {
+        let mut ks = KeyStore::new(b"die-0");
+        assert!(!ks.is_burned());
+        ks.burn_aes_key([7u8; 32], KeyProtection::EFuse).unwrap();
+        assert!(ks.is_burned());
+        assert!(ks.burn_aes_key([8u8; 32], KeyProtection::EFuse).is_err());
+        assert_eq!(ks.read_aes_key().unwrap(), [7u8; 32]);
+    }
+
+    #[test]
+    fn lock_blocks_reads_until_reset() {
+        let mut ks = KeyStore::new(b"die-0");
+        ks.burn_aes_key([7u8; 32], KeyProtection::EFuse).unwrap();
+        ks.lock();
+        assert!(ks.read_aes_key().is_err());
+        ks.unlock_on_reset();
+        assert_eq!(ks.read_aes_key().unwrap(), [7u8; 32]);
+    }
+
+    #[test]
+    fn puf_wrap_hides_key_from_fuse_readout() {
+        let mut ks = KeyStore::new(b"die-1");
+        let key = [0x42u8; 32];
+        ks.burn_aes_key(key, KeyProtection::PufWrapped).unwrap();
+        // Legitimate path recovers the key…
+        assert_eq!(ks.read_aes_key().unwrap(), key);
+        // …but raw fuse extraction does not.
+        assert_ne!(ks.tamper_read_fuses().unwrap(), key);
+    }
+
+    #[test]
+    fn efuse_protection_is_vulnerable_to_fuse_readout() {
+        // Documents why the paper recommends the PUF option.
+        let mut ks = KeyStore::new(b"die-2");
+        ks.burn_aes_key([9u8; 32], KeyProtection::EFuse).unwrap();
+        assert_eq!(ks.tamper_read_fuses().unwrap(), [9u8; 32]);
+    }
+
+    #[test]
+    fn pufs_are_device_unique() {
+        let a = Puf::from_die_serial(b"die-a");
+        let b = Puf::from_die_serial(b"die-b");
+        let key = [1u8; 32];
+        assert_ne!(a.wrap(&key), b.wrap(&key));
+        assert_eq!(a.unwrap_key(&a.wrap(&key)), key);
+    }
+
+    #[test]
+    fn unburned_read_fails() {
+        let ks = KeyStore::new(b"die-3");
+        assert!(ks.read_aes_key().is_err());
+        assert!(ks.tamper_read_fuses().is_none());
+    }
+
+    #[test]
+    fn pubkey_hash_slot() {
+        let mut ks = KeyStore::new(b"die-4");
+        assert!(ks.pubkey_hash().is_none());
+        ks.set_pubkey_hash([5u8; 32]);
+        assert_eq!(ks.pubkey_hash(), Some([5u8; 32]));
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulated cloud-FPGA platform substrate for ShEF.
+//!
+//! The ShEF paper evaluates on real hardware — a Xilinx UltraScale+
+//! Ultra96 board (end-to-end secure boot) and AWS EC2 F1 instances
+//! (Shield performance). This crate substitutes that hardware with a
+//! behavioural + timing model exposing exactly the mechanisms the paper
+//! relies on (§2.2, §2.3):
+//!
+//! * [`keystore`] — e-fuse/BBRAM AES device key storage with optional PUF
+//!   wrapping, burn-once semantics.
+//! * [`spb`] — the Security Processor Block: BootROM that decrypts and
+//!   authenticates manufacturer firmware with the device key.
+//! * [`processor`] — the dedicated Security-Kernel processor (the paper
+//!   uses a Cortex-R5 core on the Ultra96) with private on-chip memory.
+//! * [`fabric`] — the programmable fabric, split into a static Shell
+//!   region and a partial-reconfiguration region.
+//! * [`shell`] — the CSP's untrusted Shell logic: DMA, AXI4-Lite register
+//!   port and AXI4 memory port, with interposition hooks so tests can
+//!   mount man-in-the-middle attacks (the paper's threat model lets the
+//!   adversary "control privileged FPGA logic, such as the AWS F1
+//!   Shell").
+//! * [`axi`] — transaction-level AXI4 / AXI4-Lite port traits.
+//! * [`dram`] — sparse 64 GB device DRAM with bandwidth/latency
+//!   accounting; fully adversary-accessible, per the threat model.
+//! * [`ports`] — JTAG/ICAP debug ports and tamper monitors.
+//! * [`host`] — the untrusted host CPU and its PCIe DMA cost model.
+//! * [`clock`] — cycle accounting and the bottleneck-lane cost ledger
+//!   used by the performance model.
+//! * [`board`] — a full F1-like board: device + host + boot medium.
+//!
+//! Nothing in this crate implements ShEF itself; `shef-core` builds the
+//! secure boot, attestation, and Shield on top of these mechanisms, the
+//! same way the real ShEF builds on stock Xilinx/Intel hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axi;
+pub mod board;
+pub mod clock;
+pub mod dram;
+pub mod fabric;
+pub mod host;
+pub mod keystore;
+pub mod ports;
+pub mod processor;
+pub mod shell;
+pub mod spb;
+
+/// Errors raised by the platform substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// An AXI transaction was malformed or out of range.
+    Axi(String),
+    /// The device key store refused an operation (already burned, locked…).
+    KeyStore(String),
+    /// BootROM failed to decrypt or authenticate the firmware image.
+    FirmwareAuthentication,
+    /// A required image was missing from the boot medium.
+    MissingImage(String),
+    /// The fabric rejected a bitstream (wrong region, Shell not loaded…).
+    Fabric(String),
+    /// A tamper event tripped a monitor.
+    Tamper(String),
+}
+
+impl core::fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FpgaError::Axi(m) => write!(f, "axi error: {m}"),
+            FpgaError::KeyStore(m) => write!(f, "key store error: {m}"),
+            FpgaError::FirmwareAuthentication => {
+                write!(f, "firmware image failed authentication")
+            }
+            FpgaError::MissingImage(m) => write!(f, "missing boot image: {m}"),
+            FpgaError::Fabric(m) => write!(f, "fabric error: {m}"),
+            FpgaError::Tamper(m) => write!(f, "tamper detected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}

@@ -1,0 +1,171 @@
+//! Debug/programming ports and tamper monitors.
+//!
+//! ShEF's Security Kernel "continuously checks existing hardware
+//! monitors. It can thus detect backdoor activity (e.g., JTAG and
+//! programming ports) … and prevent any physical attacks" (§3 step 9,
+//! §4 "Isolated Execution"). This module models those ports: adversarial
+//! accesses are recorded as tamper events that the kernel polls.
+
+/// A port an adversary may poke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DebugPort {
+    /// External JTAG chain.
+    Jtag,
+    /// Internal configuration access port (bitstream readback/overwrite).
+    Icap,
+    /// Virtual JTAG exposed by the Shell.
+    VirtualJtag,
+}
+
+impl core::fmt::Display for DebugPort {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DebugPort::Jtag => write!(f, "JTAG"),
+            DebugPort::Icap => write!(f, "ICAP"),
+            DebugPort::VirtualJtag => write!(f, "virtual JTAG"),
+        }
+    }
+}
+
+/// A recorded tamper event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperEvent {
+    /// Which port was touched.
+    pub port: DebugPort,
+    /// Human-readable description of the access.
+    pub description: String,
+}
+
+/// Outcome of an adversarial port access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortAccessOutcome {
+    /// Monitors were armed: the access was blocked and logged.
+    BlockedAndLogged,
+    /// Monitors were not armed: the access went through silently.
+    Succeeded,
+}
+
+/// The device's debug ports plus the tamper monitor state.
+#[derive(Debug, Default)]
+pub struct DebugPorts {
+    monitors_armed: bool,
+    events: Vec<TamperEvent>,
+    unmonitored_accesses: u64,
+}
+
+impl DebugPorts {
+    /// Creates ports with monitors disarmed (the power-on state; the
+    /// Security Kernel arms them during secure boot).
+    #[must_use]
+    pub fn new() -> Self {
+        DebugPorts::default()
+    }
+
+    /// Arms the tamper monitors (Security Kernel duty).
+    pub fn arm_monitors(&mut self) {
+        self.monitors_armed = true;
+    }
+
+    /// Disarms monitors (reset path only).
+    pub fn disarm_monitors(&mut self) {
+        self.monitors_armed = false;
+    }
+
+    /// Whether monitors are armed.
+    #[must_use]
+    pub fn monitors_armed(&self) -> bool {
+        self.monitors_armed
+    }
+
+    /// An adversary attempts to use a debug port.
+    pub fn adversarial_access(&mut self, port: DebugPort, description: &str) -> PortAccessOutcome {
+        if self.monitors_armed {
+            self.events.push(TamperEvent {
+                port,
+                description: description.to_owned(),
+            });
+            PortAccessOutcome::BlockedAndLogged
+        } else {
+            self.unmonitored_accesses += 1;
+            PortAccessOutcome::Succeeded
+        }
+    }
+
+    /// Pending tamper events (kernel polling); does not clear them.
+    #[must_use]
+    pub fn pending_events(&self) -> &[TamperEvent] {
+        &self.events
+    }
+
+    /// Drains and returns pending tamper events.
+    pub fn take_events(&mut self) -> Vec<TamperEvent> {
+        core::mem::take(&mut self.events)
+    }
+
+    /// Number of accesses that slipped through while monitors were
+    /// disarmed (used by tests that demonstrate why the kernel must run
+    /// continuously).
+    #[must_use]
+    pub fn unmonitored_access_count(&self) -> u64 {
+        self.unmonitored_accesses
+    }
+
+    /// Power-cycle reset.
+    pub fn reset(&mut self) {
+        self.monitors_armed = false;
+        self.events.clear();
+        self.unmonitored_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_monitors_block_and_log() {
+        let mut ports = DebugPorts::new();
+        ports.arm_monitors();
+        let outcome = ports.adversarial_access(DebugPort::Jtag, "readback attempt");
+        assert_eq!(outcome, PortAccessOutcome::BlockedAndLogged);
+        assert_eq!(ports.pending_events().len(), 1);
+        assert_eq!(ports.pending_events()[0].port, DebugPort::Jtag);
+    }
+
+    #[test]
+    fn disarmed_monitors_let_access_through() {
+        let mut ports = DebugPorts::new();
+        let outcome = ports.adversarial_access(DebugPort::Icap, "bitstream overwrite");
+        assert_eq!(outcome, PortAccessOutcome::Succeeded);
+        assert!(ports.pending_events().is_empty());
+        assert_eq!(ports.unmonitored_access_count(), 1);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let mut ports = DebugPorts::new();
+        ports.arm_monitors();
+        ports.adversarial_access(DebugPort::Jtag, "a");
+        ports.adversarial_access(DebugPort::VirtualJtag, "b");
+        let events = ports.take_events();
+        assert_eq!(events.len(), 2);
+        assert!(ports.pending_events().is_empty());
+    }
+
+    #[test]
+    fn reset_disarms_and_clears() {
+        let mut ports = DebugPorts::new();
+        ports.arm_monitors();
+        ports.adversarial_access(DebugPort::Jtag, "x");
+        ports.reset();
+        assert!(!ports.monitors_armed());
+        assert!(ports.pending_events().is_empty());
+        assert_eq!(ports.unmonitored_access_count(), 0);
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(DebugPort::Jtag.to_string(), "JTAG");
+        assert_eq!(DebugPort::Icap.to_string(), "ICAP");
+    }
+}

@@ -1,0 +1,157 @@
+//! Crafting a bespoke TEE: swapping cryptographic engines and replay
+//! defences per region (§5.2.2).
+//!
+//! The Shield's central promise is that security is a *configuration*,
+//! not a fixed design: "Since the engines expose a simple valid/ready
+//! interface, IP Vendors can simply substitute a new cryptographic
+//! engine in their place." This example takes one accelerator-shaped
+//! workload — a 1 MB state region with mixed streaming and random
+//! access — and builds four differently-shielded variants:
+//!
+//! * HMAC (the default), PMAC, and GHASH/GCM authentication engines;
+//! * replay protection via on-chip counters (the ShEF scheme) vs a
+//!   DRAM-resident Bonsai Merkle Tree (the CPU-TEE baseline of §5.2.2).
+//!
+//! For each variant it reports modelled cycles and the Table-1-based
+//! area, demonstrating the performance/area trade the IP Vendor makes.
+//!
+//! Run with: `cargo run --release --example custom_engine`
+
+use shef::core::shield::area::shield_area;
+use shef::core::shield::{
+    AccessMode, DataEncryptionKey, EngineSetConfig, MemRange, MerkleConfig, Shield, ShieldConfig,
+};
+use shef::crypto::authenc::MacAlgorithm;
+use shef::crypto::ecies::EciesKeyPair;
+use shef::fpga::clock::CostLedger;
+use shef::fpga::dram::Dram;
+use shef::fpga::shell::Shell;
+
+const REGION: u64 = 1 << 20;
+const CHUNK: usize = 512;
+
+struct Variant {
+    label: &'static str,
+    engine_set: EngineSetConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = EngineSetConfig {
+        chunk_size: CHUNK,
+        buffer_bytes: 16 * 1024,
+        aes_engines: 2,
+        mac_engines: 2,
+        ..EngineSetConfig::default()
+    };
+    vec![
+        Variant {
+            label: "HMAC + on-chip counters (default)",
+            engine_set: EngineSetConfig {
+                mac: MacAlgorithm::HmacSha256,
+                counters: true,
+                ..base.clone()
+            },
+        },
+        Variant {
+            label: "PMAC + on-chip counters",
+            engine_set: EngineSetConfig {
+                mac: MacAlgorithm::PmacAes,
+                counters: true,
+                ..base.clone()
+            },
+        },
+        Variant {
+            label: "GCM  + on-chip counters",
+            engine_set: EngineSetConfig {
+                mac: MacAlgorithm::AesGcm,
+                counters: true,
+                ..base.clone()
+            },
+        },
+        Variant {
+            label: "GCM  + Bonsai Merkle Tree (16 KB cache)",
+            engine_set: EngineSetConfig {
+                mac: MacAlgorithm::AesGcm,
+                counters: false,
+                merkle: Some(MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 }),
+                ..base
+            },
+        },
+    ]
+}
+
+/// A mixed workload: one streaming pass over the region, then 2 000
+/// random read-modify-writes — the access mix of a stateful accelerator
+/// (e.g. feature maps between layers).
+fn run_workload(shield: &mut Shield) -> Result<u64, Box<dyn std::error::Error>> {
+    let mut shell = Shell::new();
+    // Full 64 GB F1 address space: the Merkle variant stores its tree in
+    // the high arena.
+    let mut dram = Dram::f1_default();
+    let mut ledger = CostLedger::new();
+
+    for start in (0..REGION).step_by(CHUNK) {
+        shield.write(&mut shell, &mut dram, &mut ledger, start, &[7u8; CHUNK], AccessMode::Streaming)?;
+    }
+    shield.flush(&mut shell, &mut dram, &mut ledger)?;
+
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for _ in 0..2_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = (state >> 16) % (REGION - 64);
+        let mut bytes = shield.read(&mut shell, &mut dram, &mut ledger, addr, 16, AccessMode::Streaming)?;
+        bytes[0] = bytes[0].wrapping_add(1);
+        shield.write(&mut shell, &mut dram, &mut ledger, addr, &bytes, AccessMode::Streaming)?;
+    }
+    shield.flush(&mut shell, &mut dram, &mut ledger)?;
+    ledger.merge(dram.ledger());
+    Ok(ledger.bottleneck().0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("bespoke-TEE sweep: 1 MB region, C=512B, 16 KB buffer, stream + 2k RMW");
+    println!();
+    println!(
+        "{:<42} {:>12} {:>9} {:>8} {:>8} {:>9}",
+        "variant", "cycles", "rel", "LUT %", "REG %", "BRAM %"
+    );
+
+    let mut floor: Option<f64> = None;
+    for variant in variants() {
+        let config = ShieldConfig::builder()
+            .region("state", MemRange::new(0, REGION), variant.engine_set.clone())
+            .build()?;
+        let area = shield_area(&config);
+        let mut shield = Shield::new(config, EciesKeyPair::from_seed(variant.label.as_bytes()))?;
+        let dek = DataEncryptionKey::from_bytes([0x2au8; 32]);
+        shield.provision_load_key(&dek.to_load_key(&shield.public_key()))?;
+        let cycles = run_workload(&mut shield)?;
+        let rel = match floor {
+            Some(f) => cycles as f64 / f,
+            None => {
+                floor = Some(cycles as f64);
+                1.0
+            }
+        };
+        println!(
+            "{:<42} {:>12} {:>8.2}x {:>7.2}% {:>7.2}% {:>8.2}%",
+            variant.label,
+            cycles,
+            rel,
+            area.lut_pct(),
+            area.reg_pct(),
+            area.bram_pct(),
+        );
+    }
+
+    println!();
+    println!("reading the table:");
+    println!("  - engine swap (HMAC → PMAC → GCM) is one field in EngineSetConfig;");
+    println!("    ciphertext formats stay interoperable (encrypt-then-MAC over AES-CTR).");
+    println!("  - the Merkle variant matches the counters' replay protection but pays");
+    println!("    DRAM node walks on every miss — the §5.2.2 trade. At this C_mem the");
+    println!("    counter file is only ~128 Kb; its OCM cost (and the tree's savings)");
+    println!("    grows with small chunks over large regions — see the");
+    println!("    integrity_ablation bench for that sweep.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Protecting a PCIe-style stream port (§5.1's "additional interfaces").
+//!
+//! Device memory is not the only I/O surface: hosts also push commands
+//! and bulk data through PCIe/AXI-stream channels that the untrusted
+//! Shell forwards. This example runs a command/response session over
+//! the Shield's stream engine and then lets the malicious host try its
+//! four tricks — replay, reorder, drop, and splice-across-directions —
+//! all of which the sequence-bound tags catch.
+//!
+//! Run with: `cargo run --release --example secure_stream`
+
+use shef::core::shield::{DataEncryptionKey, StreamEndpoint};
+use shef::core::ShefError;
+use shef::crypto::authenc::MacAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Both endpoints derive the channel key from the provisioned Data
+    // Encryption Key — no extra key exchange beyond the Load Key.
+    let dek = DataEncryptionKey::from_bytes([0x77u8; 32]);
+    let mut owner = StreamEndpoint::client_side(&dek, "pcie0", MacAlgorithm::AesGcm);
+    let mut shield = StreamEndpoint::shield_side(&dek, "pcie0", MacAlgorithm::AesGcm);
+
+    // A normal session: three commands, three responses, through the
+    // untrusted host (which only ever sees sealed frames).
+    for (cmd, resp) in [
+        ("scan patients where glucose > 9", "2 rows"),
+        ("aggregate mean(glucose)", "7.25"),
+        ("export summary", "ok: 128 bytes"),
+    ] {
+        let frame = owner.send(cmd.as_bytes());
+        let received = shield.recv(&frame)?;
+        assert_eq!(received, cmd.as_bytes());
+        let reply = shield.send(resp.as_bytes());
+        let opened = owner.recv(&reply)?;
+        println!("[owner]  {cmd:<36} → {}", String::from_utf8_lossy(&opened));
+    }
+
+    println!();
+
+    // The malicious host's playbook:
+    // 1. Replay the last command ("export summary" twice = data leak?).
+    let replay = owner.send(b"export summary");
+    shield.recv(&replay)?;
+    let err = shield.recv(&replay).unwrap_err();
+    assert!(matches!(err, ShefError::ProtocolViolation(_)));
+    println!("[host]   replayed frame       → rejected ✓");
+
+    // 2. Reorder two queued commands.
+    let f_a = owner.send(b"begin transaction");
+    let f_b = owner.send(b"commit");
+    assert!(shield.recv(&f_b).is_err());
+    println!("[host]   reordered frames     → rejected ✓");
+    shield.recv(&f_a)?; // in-order delivery still fine
+
+    // 3. Silently drop a frame: the receiver notices at the next one.
+    let _dropped = owner.send(b"audit-log entry 1");
+    let f_next = owner.send(b"audit-log entry 2");
+    assert!(shield.recv(&f_next).is_err());
+    println!("[host]   dropped frame        → detected at next frame ✓");
+
+    // 4. Reflect a device response back at the device.
+    let mut dek2_owner = StreamEndpoint::client_side(&dek, "pcie1", MacAlgorithm::AesGcm);
+    let mut dek2_shield = StreamEndpoint::shield_side(&dek, "pcie1", MacAlgorithm::AesGcm);
+    let cmd = dek2_owner.send(b"ping");
+    dek2_shield.recv(&cmd)?;
+    let pong = dek2_shield.send(b"pong");
+    assert!(dek2_shield.recv(&pong).is_err(), "reflection must fail");
+    println!("[host]   reflected response   → rejected ✓ (direction-bound tags)");
+
+    println!();
+    println!("secure stream session complete: 3 exchanges ✓ 4 attacks rejected ✓");
+    Ok(())
+}

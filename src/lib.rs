@@ -1,0 +1,27 @@
+//! # ShEF: Shielded Enclaves for Cloud FPGAs (simulated reproduction)
+//!
+//! This meta-crate re-exports the whole ShEF workspace:
+//!
+//! * [`crypto`] — from-scratch cryptographic primitives.
+//! * [`fpga`] — the simulated cloud-FPGA platform (device, Shell, DRAM,
+//!   host).
+//! * [`core`] — ShEF itself: secure boot, remote attestation, and the
+//!   customizable Shield.
+//! * [`accel`] — the six evaluation accelerators from the paper.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs
+//! (`quickstart`, `gdpr_storage`, `secure_ml_inference`, `attack_demo`,
+//! `attestation_flow`, `custom_engine`, `multi_tenant`, `secure_stream`)
+//! and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction methodology.
+//! Beyond the paper's own design points, the Shield also ships the
+//! baselines and extensions the paper argues about: a Bonsai-Merkle-Tree
+//! replay defence (`core::shield::merkle`), a GHASH/GCM MAC engine,
+//! Path ORAM (`core::oram`), and stream-interface protection
+//! (`core::shield::stream`).
+
+#![forbid(unsafe_code)]
+
+pub use shef_accel as accel;
+pub use shef_core as core;
+pub use shef_crypto as crypto;
+pub use shef_fpga as fpga;
