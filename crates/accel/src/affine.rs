@@ -49,7 +49,14 @@ impl AffineMatrix {
     #[must_use]
     pub fn rotation_like() -> Self {
         // cos(20°)≈0.94, sin(20°)≈0.34 in 16.16 fixed point.
-        AffineMatrix { a: 61_603, b: 22_417, tx: -60, c: -22_417, d: 61_603, ty: 120 }
+        AffineMatrix {
+            a: 61_603,
+            b: 22_417,
+            tx: -60,
+            c: -22_417,
+            d: 61_603,
+            ty: 120,
+        }
     }
 }
 
@@ -69,7 +76,10 @@ impl AffineTransform {
     /// Panics unless `size` is a positive multiple of 64.
     #[must_use]
     pub fn new(size: usize, seed: u64) -> Self {
-        assert!(size > 0 && size.is_multiple_of(64), "image size must be a positive multiple of 64");
+        assert!(
+            size > 0 && size.is_multiple_of(64),
+            "image size must be a positive multiple of 64"
+        );
         AffineTransform {
             size,
             src: bytes_to_u32s(&workload_bytes(seed.wrapping_add(77), size * size * 4)),
@@ -147,7 +157,12 @@ impl Accelerator for AffineTransform {
         let bytes = u32s_to_bytes(&self.src);
         let stripe = bytes.len() / 8;
         (0..8)
-            .map(|i| RegionData::new(&format!("img-in{i}"), bytes[i * stripe..(i + 1) * stripe].to_vec()))
+            .map(|i| {
+                RegionData::new(
+                    &format!("img-in{i}"),
+                    bytes[i * stripe..(i + 1) * stripe].to_vec(),
+                )
+            })
             .collect()
     }
 
@@ -156,7 +171,10 @@ impl Accelerator for AffineTransform {
         let stripe = bytes.len() / 4;
         (0..4)
             .map(|i| {
-                RegionData::new(&format!("img-out{i}"), bytes[i * stripe..(i + 1) * stripe].to_vec())
+                RegionData::new(
+                    &format!("img-out{i}"),
+                    bytes[i * stripe..(i + 1) * stripe].to_vec(),
+                )
             })
             .collect()
     }
@@ -207,15 +225,24 @@ mod tests {
         let mut a = AffineTransform::new(64, 3);
         assert!(run_baseline(&mut a).unwrap().outputs_verified);
         let mut a = AffineTransform::new(64, 3);
-        assert!(run_shielded(&mut a, &CryptoProfile::AES128_16X, 9)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut a, &CryptoProfile::AES128_16X, 9)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]
     fn identity_matrix_is_identity() {
         let mut a = AffineTransform::new(64, 1);
-        a.matrix = AffineMatrix { a: 1 << 16, b: 0, tx: 0, c: 0, d: 1 << 16, ty: 0 };
+        a.matrix = AffineMatrix {
+            a: 1 << 16,
+            b: 0,
+            tx: 0,
+            c: 0,
+            d: 1 << 16,
+            ty: 0,
+        };
         assert_eq!(a.golden(), a.src);
     }
 
@@ -223,7 +250,14 @@ mod tests {
     fn out_of_bounds_maps_to_zero() {
         let mut a = AffineTransform::new(64, 1);
         // Huge translation pushes every source lookup out of bounds.
-        a.matrix = AffineMatrix { a: 1 << 16, b: 0, tx: 10_000, c: 0, d: 1 << 16, ty: 0 };
+        a.matrix = AffineMatrix {
+            a: 1 << 16,
+            b: 0,
+            tx: 10_000,
+            c: 0,
+            d: 1 << 16,
+            ty: 0,
+        };
         assert!(a.golden().iter().all(|&p| p == 0));
     }
 

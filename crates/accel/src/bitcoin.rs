@@ -71,11 +71,17 @@ impl Bitcoin {
     /// terminate in reasonable simulation time).
     #[must_use]
     pub fn new(difficulty_bits: u32, seed: u64) -> Self {
-        assert!(difficulty_bits <= 28, "difficulty above 28 bits is impractical in simulation");
+        assert!(
+            difficulty_bits <= 28,
+            "difficulty above 28 bits is impractical in simulation"
+        );
         let header: [u8; HEADER_BYTES] = workload_bytes(seed.wrapping_add(900), HEADER_BYTES)
             .try_into()
             .expect("fixed length");
-        Bitcoin { header, difficulty_bits }
+        Bitcoin {
+            header,
+            difficulty_bits,
+        }
     }
 
     /// The target difficulty.
@@ -154,7 +160,10 @@ impl Accelerator for Bitcoin {
         }
         let mut header = [0u8; HEADER_BYTES];
         header.copy_from_slice(&packed[..HEADER_BYTES]);
-        debug_assert_eq!(header, self.header, "register channel must deliver the header");
+        debug_assert_eq!(
+            header, self.header,
+            "register channel must deliver the header"
+        );
         let (nonce, tries) = self.search();
         bus.compute(tries * CYCLES_PER_HASH);
         bus.reg_write(NONCE_REG, nonce as u64);
@@ -173,9 +182,11 @@ mod tests {
         let mut b = Bitcoin::new(10, 3);
         assert!(run_baseline(&mut b).unwrap().outputs_verified);
         let mut b = Bitcoin::new(10, 3);
-        assert!(run_shielded(&mut b, &CryptoProfile::AES128_16X, 4)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut b, &CryptoProfile::AES128_16X, 4)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]

@@ -52,13 +52,25 @@ impl ConvDims {
     /// The paper's layer: 27×27×96 ⊗ 5×5 → 27×27×256 (same padding).
     #[must_use]
     pub fn paper() -> Self {
-        ConvDims { hw: 27, in_ch: 96, k: 5, out_ch: 256, batch: 4 }
+        ConvDims {
+            hw: 27,
+            in_ch: 96,
+            k: 5,
+            out_ch: 256,
+            batch: 4,
+        }
     }
 
     /// A small layer for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        ConvDims { hw: 8, in_ch: 4, k: 3, out_ch: 8, batch: 2 }
+        ConvDims {
+            hw: 8,
+            in_ch: 4,
+            k: 3,
+            out_ch: 8,
+            batch: 2,
+        }
     }
 
     fn ifmap_words(&self) -> usize {
@@ -97,16 +109,25 @@ impl Convolution {
     /// Creates the layer with deterministic inputs.
     #[must_use]
     pub fn new(dims: ConvDims, seed: u64) -> Self {
-        let ifmap = bytes_to_u32s(&workload_bytes(seed.wrapping_add(11), dims.ifmap_words() * 4))
-            .iter()
-            .map(|w| w % 256)
-            .collect();
-        let weights =
-            bytes_to_u32s(&workload_bytes(seed.wrapping_add(22), dims.weight_words() * 4))
-                .iter()
-                .map(|w| w % 16)
-                .collect();
-        Convolution { dims, ifmap, weights }
+        let ifmap = bytes_to_u32s(&workload_bytes(
+            seed.wrapping_add(11),
+            dims.ifmap_words() * 4,
+        ))
+        .iter()
+        .map(|w| w % 256)
+        .collect();
+        let weights = bytes_to_u32s(&workload_bytes(
+            seed.wrapping_add(22),
+            dims.weight_words() * 4,
+        ))
+        .iter()
+        .map(|w| w % 16)
+        .collect();
+        Convolution {
+            dims,
+            ifmap,
+            weights,
+        }
     }
 
     /// The layer's dimensions.
@@ -120,9 +141,8 @@ impl Convolution {
         if y < 0 || y >= hw || x < 0 || x >= hw {
             return 0; // same padding
         }
-        let idx = ((b * self.dims.hw + y as usize) * self.dims.hw + x as usize)
-            * self.dims.in_ch
-            + c;
+        let idx =
+            ((b * self.dims.hw + y as usize) * self.dims.hw + x as usize) * self.dims.in_ch + c;
         self.ifmap[idx]
     }
 
@@ -284,9 +304,11 @@ mod tests {
         let mut c = Convolution::new(ConvDims::small(), 4);
         assert!(run_baseline(&mut c).unwrap().outputs_verified);
         let mut c = Convolution::new(ConvDims::small(), 4);
-        assert!(run_shielded(&mut c, &CryptoProfile::AES128_16X, 3)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut c, &CryptoProfile::AES128_16X, 3)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]
@@ -322,7 +344,13 @@ mod tests {
     #[test]
     fn golden_same_padding_edges() {
         // A 1-channel identity filter reproduces the input.
-        let dims = ConvDims { hw: 4, in_ch: 1, k: 3, out_ch: 1, batch: 1 };
+        let dims = ConvDims {
+            hw: 4,
+            in_ch: 1,
+            k: 3,
+            out_ch: 1,
+            batch: 1,
+        };
         let mut c = Convolution::new(dims, 0);
         c.weights = vec![0, 0, 0, 0, 1, 0, 0, 0, 0]; // centre tap
         assert_eq!(c.golden(), c.ifmap);

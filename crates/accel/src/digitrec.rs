@@ -12,9 +12,7 @@ use shef_core::shield::bus::MemoryBus;
 use shef_core::shield::{AccessMode, EngineSetConfig, ShieldConfig};
 use shef_core::ShefError;
 
-use crate::{
-    stripe_regions, with_profile, workload_bytes, Accelerator, CryptoProfile, RegionData,
-};
+use crate::{stripe_regions, with_profile, workload_bytes, Accelerator, CryptoProfile, RegionData};
 
 const TEST_BASE: u64 = 0;
 const LABEL_BASE: u64 = 1 << 30;
@@ -46,7 +44,10 @@ impl DigitRecognition {
     /// chunk-aligned.)
     #[must_use]
     pub fn new(n_test: usize, n_train: usize, seed: u64) -> Self {
-        assert!(n_test > 0 && n_test.is_multiple_of(32), "n_test must be a positive multiple of 32");
+        assert!(
+            n_test > 0 && n_test.is_multiple_of(32),
+            "n_test must be a positive multiple of 32"
+        );
         assert!(n_train > 0, "need at least one training image");
         let train = workload_bytes(seed.wrapping_add(1), n_train * IMAGE_BYTES);
         // Test images are noisy copies of random training images, so
@@ -69,7 +70,13 @@ impl DigitRecognition {
             .iter()
             .map(|b| b % 10)
             .collect();
-        DigitRecognition { n_test, n_train, test, train, train_labels }
+        DigitRecognition {
+            n_test,
+            n_train,
+            test,
+            train,
+            train_labels,
+        }
     }
 
     fn classify(&self, image: &[u8]) -> u8 {
@@ -191,9 +198,11 @@ mod tests {
         let mut d = DigitRecognition::new(32, 50, 7);
         assert!(run_baseline(&mut d).unwrap().outputs_verified);
         let mut d = DigitRecognition::new(32, 50, 7);
-        assert!(run_shielded(&mut d, &CryptoProfile::AES256_16X, 5)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut d, &CryptoProfile::AES256_16X, 5)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]

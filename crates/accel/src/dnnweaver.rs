@@ -79,7 +79,10 @@ pub struct DnnWeaver {
 }
 
 fn quantize(words: Vec<u32>, range: i32) -> Vec<i32> {
-    words.iter().map(|w| (*w % (2 * range as u32)) as i32 - range).collect()
+    words
+        .iter()
+        .map(|w| (*w % (2 * range as u32)) as i32 - range)
+        .collect()
 }
 
 impl DnnWeaver {
@@ -92,7 +95,10 @@ impl DnnWeaver {
     pub fn new(batch: usize, seed: u64) -> Self {
         assert!(batch > 0, "batch must be positive");
         let weights = quantize(
-            bytes_to_u32s(&workload_bytes(seed.wrapping_add(501), TOTAL_WEIGHT_WORDS * 4)),
+            bytes_to_u32s(&workload_bytes(
+                seed.wrapping_add(501),
+                TOTAL_WEIGHT_WORDS * 4,
+            )),
             8,
         );
         let images = (0..batch)
@@ -106,7 +112,13 @@ impl DnnWeaver {
                 )
             })
             .collect();
-        DnnWeaver { batch, weights, images, pmac_weights: false, merkle_fmap: false }
+        DnnWeaver {
+            batch,
+            weights,
+            images,
+            pmac_weights: false,
+            merkle_fmap: false,
+        }
     }
 
     /// Enables the PMAC weight-set variant of §6.2.4.
@@ -272,7 +284,10 @@ impl Accelerator for DnnWeaver {
                 buffer_bytes: 64 * 1024,
                 counters: !self.merkle_fmap,
                 merkle: self.merkle_fmap.then_some({
-                    shef_core::shield::MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 }
+                    shef_core::shield::MerkleConfig {
+                        arity: 8,
+                        node_cache_bytes: 16 * 1024,
+                    }
                 }),
                 // Activations are fully written before being read, so
                 // write misses zero-fill instead of fetching garbage.
@@ -334,7 +349,11 @@ impl Accelerator for DnnWeaver {
         for (b, image) in images.iter().enumerate() {
             // Load the image into the feature-map region (64 B traffic).
             let img_bytes = u32s_to_bytes(&image.iter().map(|v| *v as u32).collect::<Vec<_>>());
-            bus.write(FMAP_BASE + (FM_INPUT * 4) as u64, &img_bytes, AccessMode::Streaming)?;
+            bus.write(
+                FMAP_BASE + (FM_INPUT * 4) as u64,
+                &img_bytes,
+                AccessMode::Streaming,
+            )?;
             // Per layer: stream that layer's weights with BLOCKING 4 KB
             // reads (the DNNWeaver bottleneck), touch the feature maps.
             let fm_offsets = [FM_ACT1, FM_ACT2, FM_FC1, FM_FC2, FM_POOL2];
@@ -369,7 +388,11 @@ impl Accelerator for DnnWeaver {
             // region.
             let scores = self.forward(image);
             let bytes = u32s_to_bytes(&scores.iter().map(|s| *s as u32).collect::<Vec<_>>());
-            bus.write(RESULT_BASE + (b * FC3_OUT * 4) as u64, &bytes, AccessMode::Streaming)?;
+            bus.write(
+                RESULT_BASE + (b * FC3_OUT * 4) as u64,
+                &bytes,
+                AccessMode::Streaming,
+            )?;
         }
         Ok(())
     }
@@ -394,9 +417,11 @@ mod tests {
         let mut d = DnnWeaver::new(1, 5);
         assert!(run_baseline(&mut d).unwrap().outputs_verified);
         let mut d = DnnWeaver::new(1, 5);
-        assert!(run_shielded(&mut d, &CryptoProfile::AES128_16X, 8)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut d, &CryptoProfile::AES128_16X, 8)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]

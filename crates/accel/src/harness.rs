@@ -34,7 +34,11 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    fn from_ledger(ledger: CostLedger, verified: bool, stats: Vec<(String, EngineSetStats)>) -> Self {
+    fn from_ledger(
+        ledger: CostLedger,
+        verified: bool,
+        stats: Vec<(String, EngineSetStats)>,
+    ) -> Self {
         let cycles = ledger.bottleneck();
         RunReport {
             cycles,
@@ -234,9 +238,8 @@ pub fn run_baseline(accel: &mut dyn Accelerator) -> Result<RunReport, ShefError>
             verified = false;
         }
     }
-    let mut read_reg = |index: usize| -> Result<u64, ShefError> {
-        Ok(regs.get(index).copied().unwrap_or(0))
-    };
+    let mut read_reg =
+        |index: usize| -> Result<u64, ShefError> { Ok(regs.get(index).copied().unwrap_or(0)) };
     if !accel.host_post(&mut read_reg)? {
         verified = false;
     }

@@ -113,13 +113,21 @@ impl RegionData {
     /// Data starting at the region base.
     #[must_use]
     pub fn new(region: &str, data: Vec<u8>) -> Self {
-        RegionData { region: region.to_owned(), offset: 0, data }
+        RegionData {
+            region: region.to_owned(),
+            offset: 0,
+            data,
+        }
     }
 
     /// Data starting at a chunk-aligned `offset` inside the region.
     #[must_use]
     pub fn at(region: &str, offset: u64, data: Vec<u8>) -> Self {
-        RegionData { region: region.to_owned(), offset, data }
+        RegionData {
+            region: region.to_owned(),
+            offset,
+            data,
+        }
     }
 }
 

@@ -43,7 +43,10 @@ impl MatMul {
     /// Panics unless `n` is a positive multiple of 16.
     #[must_use]
     pub fn new(n: usize, seed: u64) -> Self {
-        assert!(n > 0 && n.is_multiple_of(16), "matrix dimension must be a positive multiple of 16");
+        assert!(
+            n > 0 && n.is_multiple_of(16),
+            "matrix dimension must be a positive multiple of 16"
+        );
         let a = bytes_to_u32s(&workload_bytes(seed.wrapping_add(100), n * n * 4));
         let b = bytes_to_u32s(&workload_bytes(seed.wrapping_add(200), n * n * 4));
         MatMul { n, a, b }
@@ -56,8 +59,7 @@ impl MatMul {
             for k in 0..n {
                 let aik = self.a[i * n + k];
                 for j in 0..n {
-                    c[i * n + j] =
-                        c[i * n + j].wrapping_add(aik.wrapping_mul(self.b[k * n + j]));
+                    c[i * n + j] = c[i * n + j].wrapping_add(aik.wrapping_mul(self.b[k * n + j]));
                 }
             }
         }
@@ -76,10 +78,16 @@ impl Accelerator for MatMul {
 
     fn shield_config(&self, profile: &CryptoProfile) -> ShieldConfig {
         let es = with_profile(
-            EngineSetConfig { chunk_size: 512, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                chunk_size: 512,
+                ..EngineSetConfig::default()
+            },
             profile,
         );
-        let out_es = EngineSetConfig { zero_fill_writes: true, ..es.clone() };
+        let out_es = EngineSetConfig {
+            zero_fill_writes: true,
+            ..es.clone()
+        };
         let len = self.bytes() as u64;
         ShieldConfig::builder()
             .region("mat-a", MemRange::new(MAT_A_BASE, len), es.clone())
@@ -149,9 +157,11 @@ mod tests {
         let mut m = MatMul::new(32, 9);
         assert!(run_baseline(&mut m).unwrap().outputs_verified);
         let mut m = MatMul::new(32, 9);
-        assert!(run_shielded(&mut m, &CryptoProfile::AES128_4X, 2)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut m, &CryptoProfile::AES128_4X, 2)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]

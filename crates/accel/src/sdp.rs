@@ -58,23 +58,48 @@ impl SdpEngineConfig {
         [
             (
                 "4xEng/4x/HMAC",
-                SdpEngineConfig { aes_engines: 4, sbox: X4, mac: MacAlgorithm::HmacSha256, mac_engines: 1 },
+                SdpEngineConfig {
+                    aes_engines: 4,
+                    sbox: X4,
+                    mac: MacAlgorithm::HmacSha256,
+                    mac_engines: 1,
+                },
             ),
             (
                 "4xEng/16x/HMAC",
-                SdpEngineConfig { aes_engines: 4, sbox: X16, mac: MacAlgorithm::HmacSha256, mac_engines: 1 },
+                SdpEngineConfig {
+                    aes_engines: 4,
+                    sbox: X16,
+                    mac: MacAlgorithm::HmacSha256,
+                    mac_engines: 1,
+                },
             ),
             (
                 "4xEng/16x/PMAC",
-                SdpEngineConfig { aes_engines: 4, sbox: X16, mac: MacAlgorithm::PmacAes, mac_engines: 4 },
+                SdpEngineConfig {
+                    aes_engines: 4,
+                    sbox: X16,
+                    mac: MacAlgorithm::PmacAes,
+                    mac_engines: 4,
+                },
             ),
             (
                 "8xEng/16x/PMAC",
-                SdpEngineConfig { aes_engines: 8, sbox: X16, mac: MacAlgorithm::PmacAes, mac_engines: 8 },
+                SdpEngineConfig {
+                    aes_engines: 8,
+                    sbox: X16,
+                    mac: MacAlgorithm::PmacAes,
+                    mac_engines: 8,
+                },
             ),
             (
                 "16xEng/16x/PMAC",
-                SdpEngineConfig { aes_engines: 16, sbox: X16, mac: MacAlgorithm::PmacAes, mac_engines: 16 },
+                SdpEngineConfig {
+                    aes_engines: 16,
+                    sbox: X16,
+                    mac: MacAlgorithm::PmacAes,
+                    mac_engines: 16,
+                },
             ),
         ]
     }
@@ -165,7 +190,11 @@ impl Accelerator for SdpStore {
             merkle: None,
         };
         ShieldConfig::builder()
-            .region("storage", MemRange::new(STORAGE_BASE, self.region_len()), es.clone())
+            .region(
+                "storage",
+                MemRange::new(STORAGE_BASE, self.region_len()),
+                es.clone(),
+            )
             .region("tls", MemRange::new(TLS_BASE, self.region_len()), es)
             .build()
             .expect("sdp config is valid")
@@ -220,7 +249,11 @@ impl Accelerator for SdpStore {
         let mut outputs = Vec::new();
         for i in got {
             let (off, len) = self.file_range(i);
-            outputs.push(RegionData::at("tls", off, tls[off as usize..off as usize + len].to_vec()));
+            outputs.push(RegionData::at(
+                "tls",
+                off,
+                tls[off as usize..off as usize + len].to_vec(),
+            ));
         }
         for i in put {
             let (off, len) = self.file_range(i);
@@ -244,8 +277,7 @@ impl Accelerator for SdpStore {
             let mut moved = 0usize;
             while moved < len {
                 let take = BURST.min(len - moved);
-                let data =
-                    bus.read(src_base + off + moved as u64, take, AccessMode::Streaming)?;
+                let data = bus.read(src_base + off + moved as u64, take, AccessMode::Streaming)?;
                 bus.compute(take as u64 / COPY_BYTES_PER_CYCLE);
                 bus.write(dst_base + off + moved as u64, &data, AccessMode::Streaming)?;
                 moved += take;
@@ -269,9 +301,11 @@ mod tests {
         let mut s = SdpStore::new(4096, 2, vec![SdpOp::Get(0), SdpOp::Get(1)], engines(), 1);
         assert!(run_baseline(&mut s).unwrap().outputs_verified);
         let mut s = SdpStore::new(4096, 2, vec![SdpOp::Get(0), SdpOp::Get(1)], engines(), 1);
-        assert!(run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]
@@ -279,9 +313,11 @@ mod tests {
         let mut s = SdpStore::new(4096, 2, vec![SdpOp::Put(1)], engines(), 1);
         assert!(run_baseline(&mut s).unwrap().outputs_verified);
         let mut s = SdpStore::new(4096, 2, vec![SdpOp::Put(1)], engines(), 1);
-        assert!(run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
-            .unwrap()
-            .outputs_verified);
+        assert!(
+            run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
+                .unwrap()
+                .outputs_verified
+        );
     }
 
     #[test]
@@ -291,9 +327,13 @@ mod tests {
         let hmac = cols[1].1;
         let pmac = cols[2].1;
         let mut s = SdpStore::new(64 * 1024, 1, vec![SdpOp::Get(0)], hmac, 3);
-        let hmac_cycles = run_shielded(&mut s, &CryptoProfile::AES128_16X, 2).unwrap().cycles;
+        let hmac_cycles = run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
+            .unwrap()
+            .cycles;
         let mut s = SdpStore::new(64 * 1024, 1, vec![SdpOp::Get(0)], pmac, 3);
-        let pmac_cycles = run_shielded(&mut s, &CryptoProfile::AES128_16X, 2).unwrap().cycles;
+        let pmac_cycles = run_shielded(&mut s, &CryptoProfile::AES128_16X, 2)
+            .unwrap()
+            .cycles;
         assert!(pmac_cycles < hmac_cycles);
     }
 

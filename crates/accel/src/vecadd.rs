@@ -54,7 +54,11 @@ impl VectorAdd {
     fn sum(&self) -> Vec<u8> {
         let a = bytes_to_u32s(&self.a);
         let b = bytes_to_u32s(&self.b);
-        let out: Vec<u32> = a.iter().zip(b.iter()).map(|(x, y)| x.wrapping_add(*y)).collect();
+        let out: Vec<u32> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.wrapping_add(*y))
+            .collect();
         u32s_to_bytes(&out)
     }
 }
@@ -68,10 +72,16 @@ impl Accelerator for VectorAdd {
         // Paper layout: 4 engine sets across the inputs (2 per vector),
         // 4 across the output; 1 AES + 1 HMAC each; C = 512 B.
         let es = with_profile(
-            EngineSetConfig { chunk_size: 512, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                chunk_size: 512,
+                ..EngineSetConfig::default()
+            },
             profile,
         );
-        let out_es = EngineSetConfig { zero_fill_writes: true, ..es.clone() };
+        let out_es = EngineSetConfig {
+            zero_fill_writes: true,
+            ..es.clone()
+        };
         let len = self.len_bytes as u64;
         let mut builder = ShieldConfig::builder();
         builder = stripe_regions(builder, "vec-a", VEC_A_BASE, len, 2, &es);
@@ -115,7 +125,11 @@ impl Accelerator for VectorAdd {
                 .map(|(x, y)| x.wrapping_add(*y))
                 .collect();
             bus.compute(sum.len() as u64 / LANES);
-            bus.write(VEC_OUT_BASE + offset as u64, &u32s_to_bytes(&sum), AccessMode::Streaming)?;
+            bus.write(
+                VEC_OUT_BASE + offset as u64,
+                &u32s_to_bytes(&sum),
+                AccessMode::Streaming,
+            )?;
             offset += take;
         }
         Ok(())

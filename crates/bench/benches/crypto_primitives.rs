@@ -78,9 +78,17 @@ fn bench_asymmetric(c: &mut Criterion) {
     });
     let secret = [0x77u8; 32];
     let peer = x25519::public_key(&[0x88u8; 32]);
-    group.bench_function("x25519_dh", |b| b.iter(|| x25519::shared_secret(&secret, &peer)));
+    group.bench_function("x25519_dh", |b| {
+        b.iter(|| x25519::shared_secret(&secret, &peer))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_hashes, bench_authenc, bench_asymmetric);
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_hashes,
+    bench_authenc,
+    bench_asymmetric
+);
 criterion_main!(benches);

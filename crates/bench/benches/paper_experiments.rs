@@ -21,8 +21,14 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("table3", "Table 3: inclusive utilization per accelerator"),
     ("boot_time", "§6.1: end-to-end secure boot latency"),
     ("dnnweaver_latency", "Appendix A.6: DNNWeaver LeNet latency"),
-    ("ablations", "Design-knob ablations (chunk, buffer, counters, side channel)"),
-    ("integrity_ablation", "Integrity-scheme ablation (counters vs Bonsai Merkle Tree)"),
+    (
+        "ablations",
+        "Design-knob ablations (chunk, buffer, counters, side channel)",
+    ),
+    (
+        "integrity_ablation",
+        "Integrity-scheme ablation (counters vs Bonsai Merkle Tree)",
+    ),
 ];
 
 fn main() {
@@ -34,7 +40,15 @@ fn main() {
         println!("## {title}");
         println!("################################################################");
         let status = Command::new(&cargo)
-            .args(["run", "--release", "--quiet", "-p", "shef-bench", "--bin", bin])
+            .args([
+                "run",
+                "--release",
+                "--quiet",
+                "-p",
+                "shef-bench",
+                "--bin",
+                bin,
+            ])
             .status();
         match status {
             Ok(s) if s.success() => {}

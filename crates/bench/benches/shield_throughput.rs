@@ -60,7 +60,14 @@ fn bench_shield_reads(c: &mut Criterion) {
                 // re-reading through the (small) buffer still exercises
                 // the full decrypt+verify path for most chunks.
                 shield
-                    .read(&mut shell, &mut dram, &mut ledger, 0, 1 << 20, AccessMode::Streaming)
+                    .read(
+                        &mut shell,
+                        &mut dram,
+                        &mut ledger,
+                        0,
+                        1 << 20,
+                        AccessMode::Streaming,
+                    )
                     .unwrap()
             })
         });
@@ -95,8 +102,22 @@ fn bench_replay_defences(c: &mut Criterion) {
     group.sample_size(20);
     for (name, counters, merkle) in [
         ("counters", true, None),
-        ("merkle_a8_cached", false, Some(MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 })),
-        ("merkle_a8_uncached", false, Some(MerkleConfig { arity: 8, node_cache_bytes: 0 })),
+        (
+            "merkle_a8_cached",
+            false,
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 16 * 1024,
+            }),
+        ),
+        (
+            "merkle_a8_uncached",
+            false,
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 0,
+            }),
+        ),
     ] {
         let region = RegionConfig {
             name: "bench".into(),
@@ -116,8 +137,15 @@ fn bench_replay_defences(c: &mut Criterion) {
         let mut ledger = CostLedger::new();
         // Provision once with full-chunk writes.
         for start in (0..256 * 1024u64).step_by(512) {
-            es.write(&mut shell, &mut dram, &mut ledger, start, &[0u8; 512], AccessMode::Streaming)
-                .unwrap();
+            es.write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                start,
+                &[0u8; 512],
+                AccessMode::Streaming,
+            )
+            .unwrap();
         }
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         group.bench_function(BenchmarkId::new("rmw_64", name), |b| {
@@ -127,10 +155,24 @@ fn bench_replay_defences(c: &mut Criterion) {
                 let addr = (n >> 16) % (256 * 1024 - 64);
                 let mut ledger = CostLedger::new();
                 let got = es
-                    .read(&mut shell, &mut dram, &mut ledger, addr, 64, AccessMode::Streaming)
+                    .read(
+                        &mut shell,
+                        &mut dram,
+                        &mut ledger,
+                        addr,
+                        64,
+                        AccessMode::Streaming,
+                    )
                     .unwrap();
-                es.write(&mut shell, &mut dram, &mut ledger, addr, &got, AccessMode::Streaming)
-                    .unwrap();
+                es.write(
+                    &mut shell,
+                    &mut dram,
+                    &mut ledger,
+                    addr,
+                    &got,
+                    AccessMode::Streaming,
+                )
+                .unwrap();
                 es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
             })
         });

@@ -26,9 +26,15 @@ fn chunk_size_sweep() {
     use shef_core::shield::EngineSetConfig;
 
     header("Ablation 1: chunk size C_mem (streaming 1 MB through one engine set)");
-    println!("{:<12} {:>16} {:>16} {:>14}", "C_mem", "lane cyc/MB", "tag overhead", "blk latency");
+    println!(
+        "{:<12} {:>16} {:>16} {:>14}",
+        "C_mem", "lane cyc/MB", "tag overhead", "blk latency"
+    );
     for chunk in [64usize, 128, 256, 512, 1024, 4096, 16384] {
-        let cfg = EngineSetConfig { chunk_size: chunk, ..EngineSetConfig::default() };
+        let cfg = EngineSetConfig {
+            chunk_size: chunk,
+            ..EngineSetConfig::default()
+        };
         let chunks = (1 << 20) / chunk as u64;
         let cost = chunk_crypto_cost(&cfg, chunk);
         let lane_total = cost.lane.0 * chunks;
@@ -67,7 +73,10 @@ fn buffer_sweep() {
         .fold((0, 0), |(h, m), (_, s)| (h + s.hits, m + s.misses));
     kv_row(
         "input sets (4 KB buffers)",
-        &format!("{hits} hits / {misses} misses ({:.1}% hit rate)", hits as f64 / (hits + misses) as f64 * 100.0),
+        &format!(
+            "{hits} hits / {misses} misses ({:.1}% hit rate)",
+            hits as f64 / (hits + misses) as f64 * 100.0
+        ),
     );
     println!();
     println!("without the buffer every 4-byte gather would be a full 64 B chunk");
@@ -81,9 +90,16 @@ fn counter_cost() {
 
     header("Ablation 3: freshness counters (replay protection) cost");
     for (chunk, region_mb) in [(64usize, 1u64), (512, 1), (4096, 1)] {
-        let mut with = EngineSetConfig { chunk_size: chunk, counters: true, ..EngineSetConfig::default() };
+        let mut with = EngineSetConfig {
+            chunk_size: chunk,
+            counters: true,
+            ..EngineSetConfig::default()
+        };
         with.buffer_bytes = 0;
-        let without = EngineSetConfig { counters: false, ..with.clone() };
+        let without = EngineSetConfig {
+            counters: false,
+            ..with.clone()
+        };
         let region_len = region_mb << 20;
         let a_with = engine_set(&with, region_len);
         let a_without = engine_set(&without, region_len);
@@ -139,7 +155,9 @@ fn oram_over_shield() {
     use shef_fpga::dram::Dram;
     use shef_fpga::shell::Shell;
 
-    header("Ablation 5: Path ORAM over the Shield (§5.2 'simply added … on top of Shield engines')");
+    header(
+        "Ablation 5: Path ORAM over the Shield (§5.2 'simply added … on top of Shield engines')",
+    );
 
     const N_BLOCKS: u64 = 256;
     const BLOCK: usize = 64;
@@ -163,7 +181,9 @@ fn oram_over_shield() {
         .expect("oram shield config");
     let mut shield = Shield::new(config, EciesKeyPair::from_seed(b"oram-ablation")).unwrap();
     let dek = DataEncryptionKey::from_bytes([0x3cu8; 32]);
-    shield.provision_load_key(&dek.to_load_key(&shield.public_key())).unwrap();
+    shield
+        .provision_load_key(&dek.to_load_key(&shield.public_key()))
+        .unwrap();
     let mut shell = Shell::new();
     let mut dram = Dram::f1_default();
     let mut ledger = CostLedger::new();
@@ -220,7 +240,10 @@ fn oram_over_shield() {
         for &id in &ids {
             let _ = oram.read(&mut bus, id).expect("oram read");
         }
-        kv_row("stash occupancy after run", &format!("{} blocks", oram.stash_len()));
+        kv_row(
+            "stash occupancy after run",
+            &format!("{} blocks", oram.stash_len()),
+        );
     }
     let oram_cycles = ledger_oram.bottleneck().0;
 

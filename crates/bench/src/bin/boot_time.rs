@@ -15,9 +15,15 @@ fn main() {
     header("§6.1: end-to-end secure boot timing (Ultra96 model)");
 
     let mut bench = TestBench::new("boot-bench");
-    let board = bench.fresh_board(b"die-boot-bench").expect("provisioning succeeds");
+    let board = bench
+        .fresh_board(b"die-boot-bench")
+        .expect("provisioning succeeds");
     let config = ShieldConfig::builder()
-        .region("data", MemRange::new(0, 1 << 20), EngineSetConfig::default())
+        .region(
+            "data",
+            MemRange::new(0, 1 << 20),
+            EngineSetConfig::default(),
+        )
         .build()
         .expect("valid config");
     let product = bench
@@ -30,12 +36,30 @@ fn main() {
         .expect("deploy succeeds");
 
     let t = &instance.boot_report.timing;
-    kv_row("BootROM + firmware decrypt", &format!("{:>8.0} ms", t.bootrom_ms));
-    kv_row("Security Kernel measurement", &format!("{:>8.0} ms", t.measure_kernel_ms));
-    kv_row("Attestation key derivation", &format!("{:>8.0} ms", t.key_derivation_ms));
-    kv_row("Kernel start + monitor arm", &format!("{:>8.0} ms", t.kernel_start_ms));
-    kv_row("Shell static-region load", &format!("{:>8.0} ms", t.shell_load_ms));
-    kv_row("TOTAL (power-on to bitstream load)", &format!("{:>8.1} s", t.total_ms() / 1000.0));
+    kv_row(
+        "BootROM + firmware decrypt",
+        &format!("{:>8.0} ms", t.bootrom_ms),
+    );
+    kv_row(
+        "Security Kernel measurement",
+        &format!("{:>8.0} ms", t.measure_kernel_ms),
+    );
+    kv_row(
+        "Attestation key derivation",
+        &format!("{:>8.0} ms", t.key_derivation_ms),
+    );
+    kv_row(
+        "Kernel start + monitor arm",
+        &format!("{:>8.0} ms", t.kernel_start_ms),
+    );
+    kv_row(
+        "Shell static-region load",
+        &format!("{:>8.0} ms", t.shell_load_ms),
+    );
+    kv_row(
+        "TOTAL (power-on to bitstream load)",
+        &format!("{:>8.1} s", t.total_ms() / 1000.0),
+    );
     println!();
     kv_row("paper measurement", "5.1 s (Ultra96)");
     kv_row("reference: CSP VM boot", "40+ s");

@@ -18,8 +18,14 @@ fn main() {
         run_shielded(&mut shielded_accel, &CryptoProfile::AES128_16X, 9).expect("shielded runs");
     assert!(baseline.outputs_verified && shielded.outputs_verified);
 
-    kv_row("dnnweaver (baseline)", &format!("{:>8.0} µs   paper: 3054 µs", baseline.micros));
-    kv_row("dnnweaver_shield", &format!("{:>8.0} µs   paper: 5073 µs", shielded.micros));
+    kv_row(
+        "dnnweaver (baseline)",
+        &format!("{:>8.0} µs   paper: 3054 µs", baseline.micros),
+    );
+    kv_row(
+        "dnnweaver_shield",
+        &format!("{:>8.0} µs   paper: 5073 µs", shielded.micros),
+    );
     kv_row(
         "ratio",
         &format!(

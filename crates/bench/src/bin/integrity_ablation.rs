@@ -81,28 +81,52 @@ fn run_scheme(label: &str, counters: bool, merkle: Option<MerkleConfig>) -> Sche
     // Warm the region with one sequential write pass (provisioning), then
     // reset accounting so only the steady-state RMW trace is measured.
     for chunk_start in (0..REGION_LEN).step_by(CHUNK) {
-        es.write(&mut shell, &mut dram, &mut ledger, chunk_start, &[0u8; CHUNK], AccessMode::Streaming)
-            .expect("warm-up write");
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            chunk_start,
+            &[0u8; CHUNK],
+            AccessMode::Streaming,
+        )
+        .expect("warm-up write");
     }
-    es.flush(&mut shell, &mut dram, &mut ledger).expect("warm-up flush");
+    es.flush(&mut shell, &mut dram, &mut ledger)
+        .expect("warm-up flush");
     dram.reset_accounting();
     let mut ledger = CostLedger::new();
 
     let mut baseline_reads = 0u64;
     for (i, &addr) in addresses().iter().enumerate() {
         let mut word = es
-            .read(&mut shell, &mut dram, &mut ledger, addr, 8, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                addr,
+                8,
+                AccessMode::Streaming,
+            )
             .expect("trace read");
         word[0] = word[0].wrapping_add(1);
-        es.write(&mut shell, &mut dram, &mut ledger, addr, &word, AccessMode::Streaming)
-            .expect("trace write");
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            addr,
+            &word,
+            AccessMode::Streaming,
+        )
+        .expect("trace write");
         baseline_reads += 1;
         // Periodic flush models the kernel's working-set turnover.
         if i % 512 == 511 {
-            es.flush(&mut shell, &mut dram, &mut ledger).expect("periodic flush");
+            es.flush(&mut shell, &mut dram, &mut ledger)
+                .expect("periodic flush");
         }
     }
-    es.flush(&mut shell, &mut dram, &mut ledger).expect("final flush");
+    es.flush(&mut shell, &mut dram, &mut ledger)
+        .expect("final flush");
 
     ledger.merge(dram.ledger());
     let stats = dram.stats();
@@ -121,24 +145,35 @@ fn run_scheme(label: &str, counters: bool, merkle: Option<MerkleConfig>) -> Sche
 }
 
 fn integrity_sweep() {
-    header("Integrity ablation: replay-protection scheme (1 MB fmap, C=64B, 4 KB buffer, 4k RMW ops)");
+    header(
+        "Integrity ablation: replay-protection scheme (1 MB fmap, C=64B, 4 KB buffer, 4k RMW ops)",
+    );
     let schemes: Vec<SchemeResult> = vec![
         run_scheme("MAC only (no replay protection)", false, None),
         run_scheme("on-chip counters (ShEF, §5.2.2)", true, None),
         run_scheme(
             "Bonsai MT, arity 8, no node cache",
             false,
-            Some(MerkleConfig { arity: 8, node_cache_bytes: 0 }),
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 0,
+            }),
         ),
         run_scheme(
             "Bonsai MT, arity 8, 16 KB cache",
             false,
-            Some(MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 }),
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 16 * 1024,
+            }),
         ),
         run_scheme(
             "Bonsai MT, arity 32, no node cache",
             false,
-            Some(MerkleConfig { arity: 32, node_cache_bytes: 0 }),
+            Some(MerkleConfig {
+                arity: 32,
+                node_cache_bytes: 0,
+            }),
         ),
     ];
     let floor = schemes[0].bottleneck.max(1);
@@ -176,7 +211,11 @@ fn mac_engine_sweep() {
         "{:<12} {:>14} {:>16} {:>12} {:>10}",
         "engine", "lane cyc/MB", "blk latency", "LUT/engine", "REG/engine"
     );
-    for mac in [MacAlgorithm::HmacSha256, MacAlgorithm::PmacAes, MacAlgorithm::AesGcm] {
+    for mac in [
+        MacAlgorithm::HmacSha256,
+        MacAlgorithm::PmacAes,
+        MacAlgorithm::AesGcm,
+    ] {
         let cfg = EngineSetConfig {
             chunk_size: 4096,
             mac,
@@ -228,7 +267,10 @@ fn end_to_end_dnnweaver() {
     assert!(baseline.outputs_verified && counters.outputs_verified && merkle.outputs_verified);
     let base = baseline.cycles.0.max(1) as f64;
     println!("{:<42} {:>12} {:>9}", "variant", "cycles", "vs base");
-    println!("{:<42} {:>12} {:>8.2}x", "unshielded baseline", baseline.cycles.0, 1.0);
+    println!(
+        "{:<42} {:>12} {:>8.2}x",
+        "unshielded baseline", baseline.cycles.0, 1.0
+    );
     println!(
         "{:<42} {:>12} {:>8.2}x",
         "on-chip counters (paper config)",

@@ -7,7 +7,11 @@ use shef_accel::sdp::{SdpEngineConfig, SdpStore};
 use shef_accel::CryptoProfile;
 
 fn dump(tag: &str, report: &shef_accel::harness::RunReport) {
-    println!("--- {tag}: bottleneck={} serial={:?}", report.cycles.0, report.ledger.serial());
+    println!(
+        "--- {tag}: bottleneck={} serial={:?}",
+        report.cycles.0,
+        report.ledger.serial()
+    );
     let mut lanes: Vec<_> = report.ledger.lanes().collect();
     lanes.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     for (lane, cycles) in lanes.into_iter().take(12) {

@@ -29,8 +29,16 @@ fn row(name: &str, r: Resources, paper_pct: (f64, f64, f64)) {
 fn main() {
     header("Table 1: Shield component utilization on AWS F1");
     row("Controller", component::CONTROLLER, (0.0, 0.26, 0.03));
-    row("Engine Set (base)", component::ENGINE_SET_BASE, (0.12, 0.12, 0.14));
-    row("Reg. Interface", component::REG_INTERFACE, (0.0, 0.36, 0.11));
+    row(
+        "Engine Set (base)",
+        component::ENGINE_SET_BASE,
+        (0.12, 0.12, 0.14),
+    );
+    row(
+        "Reg. Interface",
+        component::REG_INTERFACE,
+        (0.0, 0.36, 0.11),
+    );
     row("AES-4x", component::AES_4X, (0.0, 0.27, 0.13));
     row("AES-16x", component::AES_16X, (0.0, 0.32, 0.13));
     row("HMAC", component::HMAC, (0.0, 0.44, 0.15));

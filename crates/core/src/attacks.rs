@@ -27,7 +27,10 @@ impl MemReadSpoofer {
     /// Corrupts the first `n` accelerator reads.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        MemReadSpoofer { corrupt_first_n: n, corrupted: 0 }
+        MemReadSpoofer {
+            corrupt_first_n: n,
+            corrupted: 0,
+        }
     }
 }
 
@@ -156,9 +159,7 @@ mod tests {
     use shef_fpga::clock::CostLedger;
     use shef_fpga::shell::Shell;
 
-    fn shielded_setup(
-        counters: bool,
-    ) -> (Shield, Shell, Dram, CostLedger, DataEncryptionKey) {
+    fn shielded_setup(counters: bool) -> (Shield, Shell, Dram, CostLedger, DataEncryptionKey) {
         let config = ShieldConfig::builder()
             .region(
                 "data",
@@ -175,7 +176,13 @@ mod tests {
         let dek = DataEncryptionKey::from_bytes([0x66u8; 32]);
         let lk = dek.to_load_key(&shield.public_key());
         shield.provision_load_key(&lk).unwrap();
-        (shield, Shell::new(), Dram::f1_default(), CostLedger::new(), dek)
+        (
+            shield,
+            Shell::new(),
+            Dram::f1_default(),
+            CostLedger::new(),
+            dek,
+        )
     }
 
     fn provision_input(shield: &Shield, dram: &mut Dram, dek: &DataEncryptionKey, data: &[u8]) {
@@ -191,7 +198,14 @@ mod tests {
         provision_input(&shield, &mut dram, &dek, &[7u8; 8192]);
         shell.set_interposer(Box::new(MemReadSpoofer::new(1)));
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::ShefError::IntegrityViolation(_)));
     }
@@ -207,7 +221,14 @@ mod tests {
         // Move chunk 0 (and tag) over chunk 1.
         splice_chunks(&mut dram, 0, 512, 512, tag_base, tag_base + 16, 16);
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, 512, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                512,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::ShefError::IntegrityViolation(_)));
     }
@@ -220,13 +241,27 @@ mod tests {
         let snapshot = ReplaySnapshot::capture(&dram, 0, 512, tag_base, 16);
         // Legitimate update through the Shield.
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 0, &[9u8; 512], AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                &[9u8; 512],
+                AccessMode::Streaming,
+            )
             .unwrap();
         shield.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // Stale state replayed.
         snapshot.replay(&mut dram);
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::ShefError::IntegrityViolation(_)));
     }
@@ -242,11 +277,25 @@ mod tests {
         // The accelerator reads (and re-writes) the secret through the
         // Shield; all Shell-visible traffic is ciphertext.
         let got = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(&got[..secret.len()], secret);
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 4096, &got, AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                4096,
+                &got,
+                AccessMode::Streaming,
+            )
             .unwrap();
         shield.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // Retrieve the snooper to inspect what it saw.
@@ -271,7 +320,14 @@ mod tests {
         shell.clear_interposer();
         dram.tamper_write(shield.config().tag_base(0), &enc.tags);
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::ShefError::IntegrityViolation(_)));
     }
@@ -300,7 +356,9 @@ mod tests {
 
     #[test]
     fn snooper_saw_helper() {
-        let s = Snooper { observed: vec![1, 2, 3, 4, 5] };
+        let s = Snooper {
+            observed: vec![1, 2, 3, 4, 5],
+        };
         assert!(s.saw(&[3, 4]));
         assert!(!s.saw(&[4, 3]));
         assert!(!s.saw(&[]));

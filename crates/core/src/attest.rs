@@ -187,8 +187,10 @@ pub fn kernel_handle_challenge(
         &dh_key.public_key().0,
         &challenge.verif_public,
     );
-    let sigma_session =
-        sign_key.sign(&session_cert_message(&session.master_bytes(), &challenge.nonce));
+    let sigma_session = sign_key.sign(&session_cert_message(
+        &session.master_bytes(),
+        &challenge.nonce,
+    ));
 
     // Persist session state in private memory for the key hand-off.
     let mem = board.device.sk_processor.private_memory();
@@ -204,7 +206,11 @@ pub fn kernel_handle_challenge(
         sigma_seckrnl,
     };
     let sigma_alpha = sign_key.sign(&report.to_bytes());
-    Ok(AttestationResponse { report, sigma_alpha, sigma_session })
+    Ok(AttestationResponse {
+        report,
+        sigma_alpha,
+        sigma_session,
+    })
 }
 
 /// Everything the IP Vendor needs to validate a response.
@@ -256,7 +262,9 @@ pub fn vendor_verify(
         .map_err(|_| ShefError::AttestationFailed("σ_α invalid".into()))?;
     // 4. Nonce freshness.
     if report.nonce != v.expected_nonce {
-        return Err(ShefError::AttestationFailed("nonce mismatch (replay?)".into()));
+        return Err(ShefError::AttestationFailed(
+            "nonce mismatch (replay?)".into(),
+        ));
     }
     // 5. Correct bitstream staged.
     if report.enc_bitstream_hash != v.expected_bitstream_hash {
@@ -311,9 +319,7 @@ pub fn kernel_receive_bitstream_key(
         .sk_processor
         .private_memory()
         .load(slots::SESSION_KEY)
-        .ok_or_else(|| {
-            ShefError::ProtocolViolation("no attestation session established".into())
-        })?
+        .ok_or_else(|| ShefError::ProtocolViolation("no attestation session established".into()))?
         .to_vec();
     let master: [u8; 32] = session_master
         .try_into()
@@ -359,9 +365,9 @@ pub fn kernel_check_monitors(board: &mut Board) -> Result<(), ShefError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shef_crypto::ed25519::SigningKey;
     use crate::pki::MeasurementRegistry;
     use crate::shield::{EngineSetConfig, MemRange, ShieldConfig};
+    use shef_crypto::ed25519::SigningKey;
     use shef_fpga::keystore::KeyProtection;
     use shef_fpga::spb::seal_firmware;
 
@@ -381,10 +387,13 @@ mod tests {
             .keystore
             .burn_aes_key(device_aes, KeyProtection::PufWrapped)
             .unwrap();
-        let fw = crate::boot::FirmwarePayload { device_key_seed: [0x32u8; 32] };
-        board
-            .boot_medium
-            .store(image_names::SPB_FIRMWARE, seal_firmware(&device_aes, &fw.to_bytes()));
+        let fw = crate::boot::FirmwarePayload {
+            device_key_seed: [0x32u8; 32],
+        };
+        board.boot_medium.store(
+            image_names::SPB_FIRMWARE,
+            seal_firmware(&device_aes, &fw.to_bytes()),
+        );
         board
             .boot_medium
             .store(image_names::SECURITY_KERNEL, b"audited kernel".to_vec());
@@ -408,7 +417,11 @@ mod tests {
         let mut registry = MeasurementRegistry::new();
         registry.publish_kernel_hash(report.kernel_hash);
         // CSP loads the shell before accelerator loading.
-        board.device.fabric.load_shell("f1-shell", b"shell bits").unwrap();
+        board
+            .device
+            .fabric
+            .load_shell("f1-shell", b"shell bits")
+            .unwrap();
 
         Fixture {
             board,

@@ -82,7 +82,12 @@ impl Bitstream {
         let shield_key_seed = r.get_fixed::<32>()?;
         let logic = r.get_bytes()?;
         r.finish()?;
-        Ok(Bitstream { accel_id, shield_config, shield_key_seed, logic })
+        Ok(Bitstream {
+            accel_id,
+            shield_config,
+            shield_key_seed,
+            logic,
+        })
     }
 
     /// The Shield key pair this bitstream embeds.

@@ -203,7 +203,10 @@ pub fn secure_boot(board: &mut Board) -> Result<BootReport, ShefError> {
     let device_key = firmware.device_signing_key();
 
     // 2. Firmware measures the Security Kernel.
-    let kernel = board.boot_medium.load(image_names::SECURITY_KERNEL)?.to_vec();
+    let kernel = board
+        .boot_medium
+        .load(image_names::SECURITY_KERNEL)?
+        .to_vec();
     let kernel_hash = Sha256::digest(&kernel);
 
     // 3. Attestation keys bound to (device, kernel).
@@ -226,8 +229,14 @@ pub fn secure_boot(board: &mut Board) -> Result<BootReport, ShefError> {
     let mem = board.device.sk_processor.private_memory();
     // Reconstruct seeds the same way derive_attestation_keys did: store
     // the generator inputs rather than raw secrets where possible.
-    mem.store(slots::ATTEST_SIGN_SEED, attest_sign_seed_bytes(&device_key, &kernel_hash).to_vec());
-    mem.store(slots::ATTEST_DH_SEED, attest_dh_seed_bytes(&device_key, &kernel_hash).to_vec());
+    mem.store(
+        slots::ATTEST_SIGN_SEED,
+        attest_sign_seed_bytes(&device_key, &kernel_hash).to_vec(),
+    );
+    mem.store(
+        slots::ATTEST_DH_SEED,
+        attest_dh_seed_bytes(&device_key, &kernel_hash).to_vec(),
+    );
     mem.store(slots::SIGMA_SECKRNL, sigma_seckrnl.0.to_vec());
     mem.store(slots::KERNEL_HASH, kernel_hash.to_vec());
 
@@ -300,13 +309,17 @@ mod tests {
             .keystore
             .burn_aes_key(device_aes, KeyProtection::PufWrapped)
             .unwrap();
-        let fw = FirmwarePayload { device_key_seed: [0x20u8; 32] };
-        board
-            .boot_medium
-            .store(image_names::SPB_FIRMWARE, seal_firmware(&device_aes, &fw.to_bytes()));
-        board
-            .boot_medium
-            .store(image_names::SECURITY_KERNEL, b"shef security kernel v1".to_vec());
+        let fw = FirmwarePayload {
+            device_key_seed: [0x20u8; 32],
+        };
+        board.boot_medium.store(
+            image_names::SPB_FIRMWARE,
+            seal_firmware(&device_aes, &fw.to_bytes()),
+        );
+        board.boot_medium.store(
+            image_names::SECURITY_KERNEL,
+            b"shef security kernel v1".to_vec(),
+        );
         board
     }
 
@@ -366,7 +379,9 @@ mod tests {
     fn boot_fails_with_wrong_device_key_firmware() {
         let mut board = provisioned_board();
         // Replace firmware with one sealed under a different AES key.
-        let fw = FirmwarePayload { device_key_seed: [0x20u8; 32] };
+        let fw = FirmwarePayload {
+            device_key_seed: [0x20u8; 32],
+        };
         board.boot_medium.store(
             image_names::SPB_FIRMWARE,
             seal_firmware(&[0xEEu8; 32], &fw.to_bytes()),
@@ -383,10 +398,13 @@ mod tests {
             .keystore
             .burn_aes_key([0x10u8; 32], KeyProtection::EFuse)
             .unwrap();
-        let fw = FirmwarePayload { device_key_seed: [0x20u8; 32] };
-        board
-            .boot_medium
-            .store(image_names::SPB_FIRMWARE, seal_firmware(&[0x10u8; 32], &fw.to_bytes()));
+        let fw = FirmwarePayload {
+            device_key_seed: [0x20u8; 32],
+        };
+        board.boot_medium.store(
+            image_names::SPB_FIRMWARE,
+            seal_firmware(&[0x10u8; 32], &fw.to_bytes()),
+        );
         assert!(matches!(
             secure_boot(&mut board),
             Err(ShefError::Fpga(shef_fpga::FpgaError::MissingImage(_)))
@@ -405,12 +423,18 @@ mod tests {
     #[test]
     fn boot_timing_matches_paper() {
         let t = BootTiming::ultra96();
-        assert!((t.total_ms() - 5_100.0).abs() < 1.0, "total {}", t.total_ms());
+        assert!(
+            (t.total_ms() - 5_100.0).abs() < 1.0,
+            "total {}",
+            t.total_ms()
+        );
     }
 
     #[test]
     fn firmware_payload_round_trip() {
-        let fw = FirmwarePayload { device_key_seed: [7u8; 32] };
+        let fw = FirmwarePayload {
+            device_key_seed: [7u8; 32],
+        };
         let parsed = FirmwarePayload::from_bytes(&fw.to_bytes()).unwrap();
         assert_eq!(parsed.device_key_seed, fw.device_key_seed);
         assert!(FirmwarePayload::from_bytes(b"junk").is_err());

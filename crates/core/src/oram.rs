@@ -257,8 +257,10 @@ impl PathOram {
                     i += 1;
                 }
             }
-            let refs: Vec<(u64, &[u8])> =
-                placed.iter().map(|(bid, data)| (*bid, data.as_slice())).collect();
+            let refs: Vec<(u64, &[u8])> = placed
+                .iter()
+                .map(|(bid, data)| (*bid, data.as_slice()))
+                .collect();
             let encoded = self.encode_bucket(&refs);
             bus.write(
                 self.base + bucket * self.bucket_bytes() as u64,
@@ -349,7 +351,12 @@ mod tests {
     }
 
     fn plain_env() -> (Shell, Dram, CostLedger, Vec<u64>) {
-        (Shell::new(), Dram::new(1 << 26), CostLedger::new(), vec![0u64; 4])
+        (
+            Shell::new(),
+            Dram::new(1 << 26),
+            CostLedger::new(),
+            vec![0u64; 4],
+        )
     }
 
     #[test]
@@ -416,7 +423,10 @@ mod tests {
         let levels = oram.levels;
         // Two very different logical workloads…
         for id in [0u64, 0, 0, 0] {
-            let mut bus = RecordingBus { inner: &mut inner, trace: Vec::new() };
+            let mut bus = RecordingBus {
+                inner: &mut inner,
+                trace: Vec::new(),
+            };
             oram.read(&mut bus, id).unwrap();
             // …produce traces of identical SHAPE: (levels+1) bucket reads
             // then (levels+1) bucket writes, all bucket-aligned.
@@ -427,7 +437,10 @@ mod tests {
             }
         }
         for id in [1u64, 7, 3, 15] {
-            let mut bus = RecordingBus { inner: &mut inner, trace: Vec::new() };
+            let mut bus = RecordingBus {
+                inner: &mut inner,
+                trace: Vec::new(),
+            };
             oram.read(&mut bus, id).unwrap();
             assert_eq!(bus.trace.len(), 2 * (levels as usize + 1));
         }
@@ -436,9 +449,7 @@ mod tests {
     #[test]
     fn works_over_a_shield() {
         use crate::shield::bus::ShieldedBus;
-        use crate::shield::{
-            DataEncryptionKey, EngineSetConfig, MemRange, Shield, ShieldConfig,
-        };
+        use crate::shield::{DataEncryptionKey, EngineSetConfig, MemRange, Shield, ShieldConfig};
         use shef_crypto::ecies::EciesKeyPair;
 
         let n_blocks = 16u64;
@@ -460,7 +471,9 @@ mod tests {
             .unwrap();
         let mut shield = Shield::new(config, EciesKeyPair::from_seed(b"oram")).unwrap();
         let dek = DataEncryptionKey::from_bytes([0x0Au8; 32]);
-        shield.provision_load_key(&dek.to_load_key(&shield.public_key())).unwrap();
+        shield
+            .provision_load_key(&dek.to_load_key(&shield.public_key()))
+            .unwrap();
         let mut shell = Shell::new();
         let mut dram = Dram::f1_default();
         let mut ledger = CostLedger::new();

@@ -95,14 +95,20 @@ impl Certificate {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShefError> {
         let mut r = Reader::new(bytes);
         let subject = match r.get_u8()? {
-            0 => CertSubject::Device { die_serial: r.get_bytes()? },
+            0 => CertSubject::Device {
+                die_serial: r.get_bytes()?,
+            },
             1 => CertSubject::Vendor { name: r.get_str()? },
             t => return Err(ShefError::Malformed(format!("unknown subject tag {t}"))),
         };
         let public_key = VerifyingKey(r.get_fixed::<32>()?);
         let signature = Signature(r.get_fixed::<64>()?);
         r.finish()?;
-        Ok(Certificate { subject, public_key, signature })
+        Ok(Certificate {
+            subject,
+            public_key,
+            signature,
+        })
     }
 }
 
@@ -208,7 +214,9 @@ mod tests {
         let mut ca = CertificateAuthority::new(&[1u8; 32]);
         let device_key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
         let cert = ca.issue(
-            CertSubject::Device { die_serial: b"die-7".to_vec() },
+            CertSubject::Device {
+                die_serial: b"die-7".to_vec(),
+            },
             device_key,
         );
         cert.verify(&ca.root_public()).unwrap();
@@ -221,7 +229,12 @@ mod tests {
         let mut ca = CertificateAuthority::new(&[1u8; 32]);
         let rogue_ca = CertificateAuthority::new(&[9u8; 32]);
         let key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
-        let cert = ca.issue(CertSubject::Vendor { name: "acme".into() }, key);
+        let cert = ca.issue(
+            CertSubject::Vendor {
+                name: "acme".into(),
+            },
+            key,
+        );
         assert!(cert.verify(&rogue_ca.root_public()).is_err());
     }
 
@@ -230,10 +243,14 @@ mod tests {
         let mut ca = CertificateAuthority::new(&[1u8; 32]);
         let key = SigningKey::from_seed(&[2u8; 32]).verifying_key();
         let mut cert = ca.issue(
-            CertSubject::Device { die_serial: b"die-1".to_vec() },
+            CertSubject::Device {
+                die_serial: b"die-1".to_vec(),
+            },
             key,
         );
-        cert.subject = CertSubject::Device { die_serial: b"die-2".to_vec() };
+        cert.subject = CertSubject::Device {
+            die_serial: b"die-2".to_vec(),
+        };
         assert!(cert.verify(&ca.root_public()).is_err());
     }
 

@@ -85,25 +85,65 @@ pub mod component {
     use super::Resources;
 
     /// Shield controller.
-    pub const CONTROLLER: Resources = Resources { bram: 0, lut: 2_348, reg: 547, ocm_bits: 0 };
+    pub const CONTROLLER: Resources = Resources {
+        bram: 0,
+        lut: 2_348,
+        reg: 547,
+        ocm_bits: 0,
+    };
     /// Engine-set base logic (burst handling, buffers' control, counters'
     /// control — excluding crypto engines and OCM).
-    pub const ENGINE_SET_BASE: Resources = Resources { bram: 2, lut: 1_068, reg: 2_508, ocm_bits: 0 };
+    pub const ENGINE_SET_BASE: Resources = Resources {
+        bram: 2,
+        lut: 1_068,
+        reg: 2_508,
+        ocm_bits: 0,
+    };
     /// Register interface.
-    pub const REG_INTERFACE: Resources = Resources { bram: 0, lut: 3_251, reg: 1_902, ocm_bits: 0 };
+    pub const REG_INTERFACE: Resources = Resources {
+        bram: 0,
+        lut: 3_251,
+        reg: 1_902,
+        ocm_bits: 0,
+    };
     /// AES engine with 4× S-box duplication.
-    pub const AES_4X: Resources = Resources { bram: 0, lut: 2_435, reg: 2_347, ocm_bits: 0 };
+    pub const AES_4X: Resources = Resources {
+        bram: 0,
+        lut: 2_435,
+        reg: 2_347,
+        ocm_bits: 0,
+    };
     /// AES engine with 16× S-box duplication.
-    pub const AES_16X: Resources = Resources { bram: 0, lut: 2_898, reg: 2_347, ocm_bits: 0 };
+    pub const AES_16X: Resources = Resources {
+        bram: 0,
+        lut: 2_898,
+        reg: 2_347,
+        ocm_bits: 0,
+    };
     /// SHA-256 HMAC engine.
-    pub const HMAC: Resources = Resources { bram: 0, lut: 3_926, reg: 2_636, ocm_bits: 0 };
+    pub const HMAC: Resources = Resources {
+        bram: 0,
+        lut: 3_926,
+        reg: 2_636,
+        ocm_bits: 0,
+    };
     /// AES-based PMAC engine.
-    pub const PMAC: Resources = Resources { bram: 0, lut: 2_545, reg: 2_570, ocm_bits: 0 };
+    pub const PMAC: Resources = Resources {
+        bram: 0,
+        lut: 2_545,
+        reg: 2_570,
+        ocm_bits: 0,
+    };
     /// GHASH engine (pipelined GF(2^128) multiplier). Not measured by
     /// the paper; our estimate for a digit-serial Karatsuba multiplier
     /// plus the GCM counter path, between the HMAC and PMAC engines in
     /// LUT cost.
-    pub const GHASH: Resources = Resources { bram: 0, lut: 3_410, reg: 2_480, ocm_bits: 0 };
+    pub const GHASH: Resources = Resources {
+        bram: 0,
+        lut: 3_410,
+        reg: 2_480,
+        ocm_bits: 0,
+    };
 }
 
 /// Area of one AES engine at the given S-box parallelism. The paper
@@ -120,7 +160,12 @@ pub fn aes_engine(sbox: SBoxParallelism) -> Resources {
             // measured points (Δ = 463 LUT for 12 copies).
             let base = AES_4X.lut as i64 - (463 * 4 / 12);
             let lut = base + (463 * f as i64 / 12);
-            Resources { bram: 0, lut: lut.max(0) as u64, reg: AES_4X.reg, ocm_bits: 0 }
+            Resources {
+                bram: 0,
+                lut: lut.max(0) as u64,
+                reg: AES_4X.reg,
+                ocm_bits: 0,
+            }
         }
     }
 }
@@ -208,7 +253,12 @@ mod tests {
 
     #[test]
     fn resources_algebra() {
-        let a = Resources { bram: 1, lut: 10, reg: 20, ocm_bits: 8 };
+        let a = Resources {
+            bram: 1,
+            lut: 10,
+            reg: 20,
+            ocm_bits: 8,
+        };
         let b = a.plus(a);
         assert_eq!(b.lut, 20);
         assert_eq!(a.times(3).reg, 60);

@@ -73,11 +73,13 @@ pub struct ShieldedBus<'a> {
 
 impl MemoryBus for ShieldedBus<'_> {
     fn read(&mut self, addr: u64, len: usize, mode: AccessMode) -> Result<Vec<u8>, ShefError> {
-        self.shield.read(self.shell, self.dram, self.ledger, addr, len, mode)
+        self.shield
+            .read(self.shell, self.dram, self.ledger, addr, len, mode)
     }
 
     fn write(&mut self, addr: u64, data: &[u8], mode: AccessMode) -> Result<(), ShefError> {
-        self.shield.write(self.shell, self.dram, self.ledger, addr, data, mode)
+        self.shield
+            .write(self.shell, self.dram, self.ledger, addr, data, mode)
     }
 
     fn flush(&mut self) -> Result<(), ShefError> {
@@ -207,7 +209,10 @@ mod tests {
         };
         bus.write(0, b"sensitive!", AccessMode::Streaming).unwrap();
         bus.flush().unwrap();
-        assert_eq!(bus.read(0, 10, AccessMode::Streaming).unwrap(), b"sensitive!");
+        assert_eq!(
+            bus.read(0, 10, AccessMode::Streaming).unwrap(),
+            b"sensitive!"
+        );
         bus.compute(10);
         // DRAM never sees the plaintext.
         assert_ne!(dram.tamper_read(0, 10), b"sensitive!");

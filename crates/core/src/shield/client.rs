@@ -171,8 +171,7 @@ mod tests {
         let enc = encrypt_region(&dek, &r, &data, 0);
         assert_eq!(enc.ciphertext.len(), data.len());
         assert_eq!(enc.tags.len(), tag_bytes_for(data.len(), 512));
-        let dec =
-            decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags, &uniform_epochs(0)).unwrap();
+        let dec = decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags, &uniform_epochs(0)).unwrap();
         assert_eq!(dec, data);
     }
 
@@ -199,7 +198,13 @@ mod tests {
         let r = region();
         let enc = encrypt_region(&dek, &r, &[7u8; 1024], 0);
         assert!(matches!(
-            decrypt_region(&dek, &r, &enc.ciphertext, &enc.tags[..16], &uniform_epochs(0)),
+            decrypt_region(
+                &dek,
+                &r,
+                &enc.ciphertext,
+                &enc.tags[..16],
+                &uniform_epochs(0)
+            ),
             Err(ShefError::Malformed(_))
         ));
     }

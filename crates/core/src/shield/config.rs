@@ -130,10 +130,8 @@ impl EngineSetConfig {
             },
             match (&self.counters, &self.merkle) {
                 (true, _) => ", counters".to_owned(),
-                (false, Some(m)) => format!(
-                    ", BMT(arity={}, cache={}B)",
-                    m.arity, m.node_cache_bytes
-                ),
+                (false, Some(m)) =>
+                    format!(", BMT(arity={}, cache={}B)", m.arity, m.node_cache_bytes),
                 (false, None) => String::new(),
             },
         )
@@ -146,7 +144,9 @@ impl EngineSetConfig {
             ));
         }
         if self.chunk_size == 0 {
-            return Err(ShefError::InvalidConfig("chunk size must be positive".into()));
+            return Err(ShefError::InvalidConfig(
+                "chunk size must be positive".into(),
+            ));
         }
         if self.buffer_bytes > 0 && self.buffer_bytes < self.chunk_size {
             return Err(ShefError::InvalidConfig(
@@ -313,7 +313,10 @@ impl ShieldConfig {
                     region.name
                 )));
             }
-            let chunks = region.range.len.div_ceil(region.engine_set.chunk_size as u64);
+            let chunks = region
+                .range
+                .len
+                .div_ceil(region.engine_set.chunk_size as u64);
             if chunks * 16 > TAG_ARENA_STRIDE {
                 return Err(ShefError::InvalidConfig(format!(
                     "region '{}' has too many chunks for its tag arena slot",
@@ -336,7 +339,9 @@ impl ShieldConfig {
             }
         }
         if self.register_interface.num_registers == 0 {
-            return Err(ShefError::InvalidConfig("register file cannot be empty".into()));
+            return Err(ShefError::InvalidConfig(
+                "register file cannot be empty".into(),
+            ));
         }
         Ok(())
     }
@@ -384,6 +389,15 @@ impl ShieldConfig {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShefError> {
         let mut r = Reader::new(bytes);
         let n = r.get_u32()? as usize;
+        // A serialized region is at least 57 bytes (name length prefix,
+        // two u64 range fields, engine-set encoding), so a count the
+        // remaining input cannot possibly hold is malformed — reject it
+        // instead of pre-allocating gigabytes from a corrupt prefix.
+        if n > bytes.len() / 32 {
+            return Err(ShefError::Malformed(format!(
+                "region count {n} exceeds input"
+            )));
+        }
         let mut regions = Vec::with_capacity(n);
         for _ in 0..n {
             let name = r.get_str()?;
@@ -401,7 +415,10 @@ impl ShieldConfig {
             hide_addresses: r.get_bool()?,
         };
         r.finish()?;
-        Ok(ShieldConfig { regions, register_interface })
+        Ok(ShieldConfig {
+            regions,
+            register_interface,
+        })
     }
 }
 
@@ -449,7 +466,10 @@ mod tests {
     use super::*;
 
     fn es(chunk: usize) -> EngineSetConfig {
-        EngineSetConfig { chunk_size: chunk, ..EngineSetConfig::default() }
+        EngineSetConfig {
+            chunk_size: chunk,
+            ..EngineSetConfig::default()
+        }
     }
 
     #[test]
@@ -574,6 +594,28 @@ mod tests {
             .unwrap();
         let parsed = ShieldConfig::from_bytes(&cfg.to_bytes()).unwrap();
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn corrupt_region_count_is_rejected_without_allocating() {
+        // Regression: a corrupt 4-byte count prefix must be rejected up
+        // front, not fed to Vec::with_capacity (a u32::MAX count used to
+        // request a multi-gigabyte allocation and abort the process).
+        let cfg = ShieldConfig::builder()
+            .region("r", MemRange::new(0, 4096), es(512))
+            .build()
+            .unwrap();
+        let mut bytes = cfg.to_bytes();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ShieldConfig::from_bytes(&bytes),
+            Err(ShefError::Malformed(_))
+        ));
+        // A count that is large but still conceivably within the input
+        // length bound must fail cleanly in the parse loop, not panic.
+        let in_bound_count = bytes.len() as u32 / 32;
+        bytes[..4].copy_from_slice(&in_bound_count.to_le_bytes());
+        assert!(ShieldConfig::from_bytes(&bytes).is_err());
     }
 
     #[test]

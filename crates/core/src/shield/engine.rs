@@ -109,7 +109,13 @@ impl EngineSet {
         let lane = format!("shield.{}[{}]", region.name, region_index);
         let merkle = region.engine_set.merkle.map(|cfg| {
             let chunks = region.range.len.div_ceil(chunk as u64);
-            MerkleTree::new(cfg, dek.region_tree_key(&region), merkle_base, chunks, &lane)
+            MerkleTree::new(
+                cfg,
+                dek.region_tree_key(&region),
+                merkle_base,
+                chunks,
+                &lane,
+            )
         });
         EngineSet {
             lane,
@@ -325,7 +331,10 @@ impl EngineSet {
         let len = self.chunk_len(idx);
         let line = if zero_fill {
             self.stats.zero_fills += 1;
-            Line { data: vec![0u8; len], dirty: false }
+            Line {
+                data: vec![0u8; len],
+                dirty: false,
+            }
         } else {
             self.stats.misses += 1;
             ledger.add_busy(
@@ -334,8 +343,9 @@ impl EngineSet {
             );
             let ciphertext = shell.mem_read(dram, self.chunk_addr(idx), len)?;
             let tag_bytes = shell.mem_read(dram, self.tag_addr(idx), CHUNK_TAG_LEN)?;
-            let tag: [u8; CHUNK_TAG_LEN] =
-                tag_bytes.try_into().expect("tag read returns requested length");
+            let tag: [u8; CHUNK_TAG_LEN] = tag_bytes
+                .try_into()
+                .expect("tag read returns requested length");
             let epoch = self.current_epoch(shell, dram, ledger, idx, mode)?;
             self.charge_crypto(ledger, len, mode);
             let plaintext = open_chunk(
@@ -350,7 +360,10 @@ impl EngineSet {
             .inspect_err(|_| {
                 self.stats.integrity_failures += 1;
             })?;
-            Line { data: plaintext, dirty: false }
+            Line {
+                data: plaintext,
+                dirty: false,
+            }
         };
         self.lines.insert(idx, line);
         self.touch_lru(idx);
@@ -454,8 +467,8 @@ impl EngineSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shef_fpga::clock::Cycles;
     use crate::shield::config::{EngineSetConfig, MemRange};
+    use shef_fpga::clock::Cycles;
 
     fn setup(
         chunk: usize,
@@ -519,7 +532,14 @@ mod tests {
         let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
         provision(&es, &mut dram, &data);
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 8192, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                8192,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, data);
         assert_eq!(es.stats().misses, 16);
@@ -531,7 +551,14 @@ mod tests {
         let data: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 256) as u8).collect();
         provision(&es, &mut dram, &data);
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000 + 300, 700, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000 + 300,
+                700,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, &data[300..1000]);
     }
@@ -540,14 +567,28 @@ mod tests {
     fn write_then_read_back_through_dram() {
         let (mut es, mut shell, mut dram, mut ledger, dek) = setup(512, 1024, false, true);
         let payload: Vec<u8> = (0..2048u32).map(|i| (i % 199) as u8).collect();
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &payload, AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &payload,
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // A brand-new engine set (fresh cache) must read the same bytes.
         let region = es.region().clone();
         let mut es2 = EngineSet::new(region, 0, 0x10_0000, 0x20_0000, &dek);
         let got = es2
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 2048, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                2048,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, payload);
         // Ciphertext in DRAM differs from plaintext.
@@ -560,12 +601,26 @@ mod tests {
         let data = vec![0x5au8; 8192];
         provision(&es, &mut dram, &data);
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         let before = dram.stats().bytes_read;
         // Re-read the same chunk: served from the buffer.
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000 + 128, 256, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000 + 128,
+                256,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(dram.stats().bytes_read, before);
         assert_eq!(es.stats().hits, 1);
@@ -579,13 +634,27 @@ mod tests {
         provision(&es, &mut dram, &data);
         for i in 0..3u64 {
             let _ = es
-                .read(&mut shell, &mut dram, &mut ledger, 0x1000 + i * 512, 512, AccessMode::Streaming)
+                .read(
+                    &mut shell,
+                    &mut dram,
+                    &mut ledger,
+                    0x1000 + i * 512,
+                    512,
+                    AccessMode::Streaming,
+                )
                 .unwrap();
         }
         // Chunk 0 was evicted: re-reading misses again.
         let misses = es.stats().misses;
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(es.stats().misses, misses + 1);
     }
@@ -599,7 +668,14 @@ mod tests {
         byte[0] ^= 0x80;
         dram.tamper_write(0x1100, &byte);
         let err = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, ShefError::IntegrityViolation(_)));
         assert_eq!(es.stats().integrity_failures, 1);
@@ -615,7 +691,14 @@ mod tests {
         dram.tamper_write(0x1000 + 512, &c0);
         dram.tamper_write(0x10_0000 + 16, &t0);
         let err = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000 + 512, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000 + 512,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, ShefError::IntegrityViolation(_)));
     }
@@ -628,12 +711,26 @@ mod tests {
         let old_ct = dram.tamper_read(0x1000, 512);
         let old_tag = dram.tamper_read(0x10_0000, 16);
         // Legitimate write bumps the on-chip counter to 1.
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &[2u8; 512], AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[2u8; 512],
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // Fresh data verifies.
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, vec![2u8; 512]);
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
@@ -641,7 +738,14 @@ mod tests {
         dram.tamper_write(0x1000, &old_ct);
         dram.tamper_write(0x10_0000, &old_tag);
         let err = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, ShefError::IntegrityViolation(_)));
     }
@@ -653,14 +757,28 @@ mod tests {
         provision(&es, &mut dram, &vec![1u8; 8192]);
         let old_ct = dram.tamper_read(0x1000, 512);
         let old_tag = dram.tamper_read(0x10_0000, 16);
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &[2u8; 512], AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[2u8; 512],
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         dram.tamper_write(0x1000, &old_ct);
         dram.tamper_write(0x10_0000, &old_tag);
         // The stale data verifies — replay goes unnoticed.
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, vec![1u8; 512]);
     }
@@ -669,11 +787,25 @@ mod tests {
     fn merkle_write_read_round_trip() {
         let (mut es, mut shell, mut dram, mut ledger, _) = setup_merkle(512, 1024, 0);
         let payload: Vec<u8> = (0..2048u32).map(|i| (i % 197) as u8).collect();
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &payload, AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &payload,
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 2048, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                2048,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, payload);
         let ms = es.merkle_stats().expect("merkle enabled");
@@ -688,13 +820,27 @@ mod tests {
         provision(&es, &mut dram, &vec![1u8; 8192]);
         let old_ct = dram.tamper_read(0x1000, 512);
         let old_tag = dram.tamper_read(0x10_0000, 16);
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &[2u8; 512], AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[2u8; 512],
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         dram.tamper_write(0x1000, &old_ct);
         dram.tamper_write(0x10_0000, &old_tag);
         let err = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, ShefError::IntegrityViolation(_)));
     }
@@ -707,20 +853,41 @@ mod tests {
         provision(&es, &mut dram, &vec![1u8; 8192]);
         // Force tree initialization, then snapshot everything.
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         let snap_data = dram.tamper_read(0x1000, 512);
         let snap_tag = dram.tamper_read(0x10_0000, 16);
         let snap_tree = dram.tamper_read(0x20_0000, 4096);
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &[9u8; 512], AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[9u8; 512],
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         dram.tamper_write(0x1000, &snap_data);
         dram.tamper_write(0x10_0000, &snap_tag);
         dram.tamper_write(0x20_0000, &snap_tree);
         let err = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(matches!(err, ShefError::IntegrityViolation(_)));
         assert!(es.stats().integrity_failures >= 1);
@@ -762,14 +929,28 @@ mod tests {
     fn zero_fill_skips_dram_reads() {
         let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 1024, false, true);
         // Partial write to an unprovisioned chunk with zero_fill: no read.
-        es.write(&mut shell, &mut dram, &mut ledger, 0x1000, &[9u8; 100], AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[9u8; 100],
+            AccessMode::Streaming,
+        )
+        .unwrap();
         assert_eq!(dram.stats().bytes_read, 0);
         assert_eq!(es.stats().zero_fills, 1);
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // Readback sees the write plus zeros.
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(&got[..100], &[9u8; 100]);
         assert_eq!(&got[100..], &vec![0u8; 412][..]);
@@ -781,9 +962,19 @@ mod tests {
         provision(&es, &mut dram, &vec![3u8; 8192]);
         let serial_before = ledger.serial();
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 4096, AccessMode::Blocking)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                4096,
+                AccessMode::Blocking,
+            )
             .unwrap();
-        assert!(ledger.serial() > serial_before, "blocking access must stall");
+        assert!(
+            ledger.serial() > serial_before,
+            "blocking access must stall"
+        );
     }
 
     #[test]
@@ -791,7 +982,14 @@ mod tests {
         let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 512, false, false);
         provision(&es, &mut dram, &vec![3u8; 8192]);
         let _ = es
-            .read(&mut shell, &mut dram, &mut ledger, 0x1000, 512, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert!(ledger.lane(es.lane()) > Cycles::ZERO);
     }
@@ -815,11 +1013,25 @@ mod tests {
         let mut dram = Dram::new(1 << 22);
         let mut ledger = CostLedger::new();
         let data: Vec<u8> = (0..5096u32).map(|i| (i % 97) as u8).collect();
-        es.write(&mut shell, &mut dram, &mut ledger, 0, &data, AccessMode::Streaming)
-            .unwrap();
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0,
+            &data,
+            AccessMode::Streaming,
+        )
+        .unwrap();
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         let got = es
-            .read(&mut shell, &mut dram, &mut ledger, 0, 5096, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                5096,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(got, data);
     }

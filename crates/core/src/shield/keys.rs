@@ -102,9 +102,9 @@ impl LoadKey {
     ///
     /// Returns [`ShefError::Malformed`] on truncated input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShefError> {
-        Ok(LoadKey(EciesCiphertext::from_bytes(bytes).map_err(|e| {
-            ShefError::Malformed(format!("bad load key: {e}"))
-        })?))
+        Ok(LoadKey(EciesCiphertext::from_bytes(bytes).map_err(
+            |e| ShefError::Malformed(format!("bad load key: {e}")),
+        )?))
     }
 }
 
@@ -126,7 +126,10 @@ impl KeyStorage {
     /// Creates storage around the Shield's embedded private key.
     #[must_use]
     pub fn new(shield_keypair: EciesKeyPair) -> Self {
-        KeyStorage { shield_keypair, data_key: None }
+        KeyStorage {
+            shield_keypair,
+            data_key: None,
+        }
     }
 
     /// Public half of the embedded Shield Encryption Key (published by

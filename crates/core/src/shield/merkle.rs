@@ -62,7 +62,10 @@ pub struct MerkleConfig {
 
 impl Default for MerkleConfig {
     fn default() -> Self {
-        MerkleConfig { arity: 8, node_cache_bytes: 0 }
+        MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 0,
+        }
     }
 }
 
@@ -173,24 +176,27 @@ impl MerkleTree {
     /// Panics if `num_counters` is zero or `cfg` fails validation; the
     /// Shield validates configurations before instantiating engines.
     #[must_use]
-    pub fn new(
-        cfg: MerkleConfig,
-        key: [u8; 32],
-        base: u64,
-        num_counters: u64,
-        lane: &str,
-    ) -> Self {
+    pub fn new(cfg: MerkleConfig, key: [u8; 32], base: u64, num_counters: u64, lane: &str) -> Self {
         assert!(num_counters > 0, "merkle tree needs at least one counter");
-        cfg.validate().expect("config validated before engine construction");
+        cfg.validate()
+            .expect("config validated before engine construction");
         let mut levels = Vec::new();
         let arity = cfg.arity as u64;
         let mut offset = 0u64;
         let mut blocks = num_counters.div_ceil(arity);
-        levels.push(Level { offset, blocks, block_bytes: cfg.leaf_bytes() });
+        levels.push(Level {
+            offset,
+            blocks,
+            block_bytes: cfg.leaf_bytes(),
+        });
         offset += blocks * cfg.leaf_bytes() as u64;
         while blocks > 1 {
             blocks = blocks.div_ceil(arity);
-            levels.push(Level { offset, blocks, block_bytes: cfg.node_bytes() });
+            levels.push(Level {
+                offset,
+                blocks,
+                block_bytes: cfg.node_bytes(),
+            });
             offset += blocks * cfg.node_bytes() as u64;
         }
         let cache_capacity_blocks = if cfg.node_cache_bytes == 0 {
@@ -362,8 +368,14 @@ impl MerkleTree {
         let expected: [u8; NODE_DIGEST_LEN] = if level == self.top_level() {
             self.root
         } else {
-            let parent =
-                self.load_verified(shell, dram, ledger, level + 1, index / self.cfg.arity as u64, mode)?;
+            let parent = self.load_verified(
+                shell,
+                dram,
+                ledger,
+                level + 1,
+                index / self.cfg.arity as u64,
+                mode,
+            )?;
             let slot = (index % self.cfg.arity as u64) as usize * NODE_DIGEST_LEN;
             parent[slot..slot + NODE_DIGEST_LEN]
                 .try_into()
@@ -398,7 +410,10 @@ impl MerkleTree {
         idx: u32,
         mode: AccessMode,
     ) -> Result<u64, ShefError> {
-        assert!((idx as u64) < self.num_counters, "counter index out of range");
+        assert!(
+            (idx as u64) < self.num_counters,
+            "counter index out of range"
+        );
         self.ensure_init(shell, dram)?;
         let arity = self.cfg.arity as u64;
         let leaf = self.load_verified(shell, dram, ledger, 0, idx as u64 / arity, mode)?;
@@ -427,7 +442,10 @@ impl MerkleTree {
         idx: u32,
         mode: AccessMode,
     ) -> Result<u64, ShefError> {
-        assert!((idx as u64) < self.num_counters, "counter index out of range");
+        assert!(
+            (idx as u64) < self.num_counters,
+            "counter index out of range"
+        );
         self.ensure_init(shell, dram)?;
         let arity = self.cfg.arity as u64;
         // Verify-then-update: the current path must be authentic before
@@ -435,7 +453,9 @@ impl MerkleTree {
         let mut block = self.load_verified(shell, dram, ledger, 0, idx as u64 / arity, mode)?;
         let at = (idx as u64 % arity) as usize * COUNTER_LEN;
         let new_value = u64::from_le_bytes(
-            block[at..at + COUNTER_LEN].try_into().expect("counter slot"),
+            block[at..at + COUNTER_LEN]
+                .try_into()
+                .expect("counter slot"),
         ) + 1;
         block[at..at + COUNTER_LEN].copy_from_slice(&new_value.to_le_bytes());
 
@@ -470,10 +490,7 @@ impl MerkleTree {
 mod tests {
     use super::*;
 
-    fn setup(
-        num_counters: u64,
-        cfg: MerkleConfig,
-    ) -> (MerkleTree, Shell, Dram, CostLedger) {
+    fn setup(num_counters: u64, cfg: MerkleConfig) -> (MerkleTree, Shell, Dram, CostLedger) {
         let tree = MerkleTree::new(cfg, [0x42u8; 32], 0x10_0000, num_counters, "test.merkle");
         (tree, Shell::new(), Dram::new(1 << 24), CostLedger::new())
     }
@@ -482,19 +499,43 @@ mod tests {
     fn counters_start_at_zero() {
         let (mut t, mut sh, mut dram, mut led) = setup(100, MerkleConfig::default());
         for idx in [0u32, 7, 50, 99] {
-            assert_eq!(t.counter(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming).unwrap(), 0);
+            assert_eq!(
+                t.counter(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming)
+                    .unwrap(),
+                0
+            );
         }
     }
 
     #[test]
     fn bump_round_trip() {
         let (mut t, mut sh, mut dram, mut led) = setup(64, MerkleConfig::default());
-        assert_eq!(t.bump(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming).unwrap(), 1);
-        assert_eq!(t.bump(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming).unwrap(), 2);
-        assert_eq!(t.counter(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming).unwrap(), 2);
+        assert_eq!(
+            t.bump(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming)
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            t.bump(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming)
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            t.counter(&mut sh, &mut dram, &mut led, 3, AccessMode::Streaming)
+                .unwrap(),
+            2
+        );
         // Neighbours are untouched.
-        assert_eq!(t.counter(&mut sh, &mut dram, &mut led, 2, AccessMode::Streaming).unwrap(), 0);
-        assert_eq!(t.counter(&mut sh, &mut dram, &mut led, 4, AccessMode::Streaming).unwrap(), 0);
+        assert_eq!(
+            t.counter(&mut sh, &mut dram, &mut led, 2, AccessMode::Streaming)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            t.counter(&mut sh, &mut dram, &mut led, 4, AccessMode::Streaming)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -509,7 +550,10 @@ mod tests {
         let t = MerkleTree::new(MerkleConfig::default(), [0; 32], 0, 512, "l");
         assert_eq!(t.depth(), 3);
         // Same counters at arity 64 → shallower.
-        let cfg = MerkleConfig { arity: 64, node_cache_bytes: 0 };
+        let cfg = MerkleConfig {
+            arity: 64,
+            node_cache_bytes: 0,
+        };
         let t = MerkleTree::new(cfg, [0; 32], 0, 512, "l");
         assert_eq!(t.depth(), 2);
     }
@@ -524,7 +568,8 @@ mod tests {
     #[test]
     fn counter_tamper_detected() {
         let (mut t, mut sh, mut dram, mut led) = setup(512, MerkleConfig::default());
-        t.bump(&mut sh, &mut dram, &mut led, 10, AccessMode::Streaming).unwrap();
+        t.bump(&mut sh, &mut dram, &mut led, 10, AccessMode::Streaming)
+            .unwrap();
         // Adversary edits the raw counter in DRAM.
         let addr = t.block_addr(0, 10 / 8) + (10 % 8) * COUNTER_LEN as u64;
         dram.tamper_write(addr, &999u64.to_le_bytes());
@@ -538,7 +583,8 @@ mod tests {
     #[test]
     fn internal_node_tamper_detected() {
         let (mut t, mut sh, mut dram, mut led) = setup(512, MerkleConfig::default());
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         // Flip one byte of a level-1 node.
         let addr = t.block_addr(1, 0);
         let mut byte = dram.tamper_read(addr, 1);
@@ -556,9 +602,11 @@ mod tests {
         // the on-chip root no longer matches — replay is caught even
         // though every node is internally consistent.
         let (mut t, mut sh, mut dram, mut led) = setup(64, MerkleConfig::default());
-        t.counter(&mut sh, &mut dram, &mut led, 5, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 5, AccessMode::Streaming)
+            .unwrap();
         let snapshot = dram.tamper_read(0x10_0000, t.dram_bytes() as usize);
-        t.bump(&mut sh, &mut dram, &mut led, 5, AccessMode::Streaming).unwrap();
+        t.bump(&mut sh, &mut dram, &mut led, 5, AccessMode::Streaming)
+            .unwrap();
         dram.tamper_write(0x10_0000, &snapshot);
         let err = t
             .counter(&mut sh, &mut dram, &mut led, 5, AccessMode::Streaming)
@@ -571,7 +619,8 @@ mod tests {
         // Copying leaf block 0 over leaf block 1 must fail: digests bind
         // the block index.
         let (mut t, mut sh, mut dram, mut led) = setup(64, MerkleConfig::default());
-        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         let b0 = dram.tamper_read(t.block_addr(0, 0), 64);
         dram.tamper_write(t.block_addr(0, 1), &b0);
         let err = t
@@ -582,52 +631,70 @@ mod tests {
 
     #[test]
     fn cache_reduces_node_reads() {
-        let cached = MerkleConfig { arity: 8, node_cache_bytes: 64 * 1024 };
+        let cached = MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 64 * 1024,
+        };
         let (mut t, mut sh, mut dram, mut led) = setup(512, cached);
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         let after_first = t.stats().node_reads;
         // Second read of the same counter: full path cached.
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         assert_eq!(t.stats().node_reads, after_first);
         assert!(t.stats().cache_hits >= 1);
         // A sibling counter in the same leaf block also hits.
-        t.counter(&mut sh, &mut dram, &mut led, 1, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 1, AccessMode::Streaming)
+            .unwrap();
         assert_eq!(t.stats().node_reads, after_first);
     }
 
     #[test]
     fn uncached_tree_reads_full_path_every_time() {
         let (mut t, mut sh, mut dram, mut led) = setup(512, MerkleConfig::default());
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         let d = t.depth() as u64;
         assert_eq!(t.stats().node_reads, d);
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         assert_eq!(t.stats().node_reads, 2 * d, "no cache → repeat full path");
     }
 
     #[test]
     fn cache_eviction_bounds_capacity() {
         // Cache sized for exactly one node block.
-        let cfg = MerkleConfig { arity: 8, node_cache_bytes: 128 };
+        let cfg = MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 128,
+        };
         let (mut t, mut sh, mut dram, mut led) = setup(512, cfg);
         for idx in 0..64u32 {
-            t.counter(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming).unwrap();
+            t.counter(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming)
+                .unwrap();
         }
         assert!(t.cache.len() <= t.cache_capacity_blocks);
     }
 
     #[test]
     fn clear_cache_forces_reverification() {
-        let cfg = MerkleConfig { arity: 8, node_cache_bytes: 64 * 1024 };
+        let cfg = MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 64 * 1024,
+        };
         let (mut t, mut sh, mut dram, mut led) = setup(64, cfg);
-        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         // With the path cached, DRAM tampering is invisible (reads are
         // served on-chip) …
         let snapshot = dram.tamper_read(0x10_0000, t.dram_bytes() as usize);
-        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.bump(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         dram.tamper_write(0x10_0000, &snapshot);
         assert_eq!(
-            t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap(),
+            t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+                .unwrap(),
             2
         );
         // … but any DRAM-backed re-read catches it.
@@ -640,36 +707,58 @@ mod tests {
     #[test]
     fn bump_charges_more_than_read() {
         let (mut t, mut sh, mut dram, mut led) = setup(512, MerkleConfig::default());
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Streaming)
+            .unwrap();
         let read_lane = led.lane("test.merkle");
         let mut led2 = CostLedger::new();
-        t.bump(&mut sh, &mut dram, &mut led2, 0, AccessMode::Streaming).unwrap();
-        assert!(led2.lane("test.merkle") > read_lane, "bump rewrites the path");
+        t.bump(&mut sh, &mut dram, &mut led2, 0, AccessMode::Streaming)
+            .unwrap();
+        assert!(
+            led2.lane("test.merkle") > read_lane,
+            "bump rewrites the path"
+        );
     }
 
     #[test]
     fn blocking_mode_charges_serial_latency() {
         let (mut t, mut sh, mut dram, mut led) = setup(512, MerkleConfig::default());
         let before = led.serial();
-        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Blocking).unwrap();
+        t.counter(&mut sh, &mut dram, &mut led, 0, AccessMode::Blocking)
+            .unwrap();
         assert!(led.serial() > before);
     }
 
     #[test]
     fn many_counters_consistent_with_reference() {
-        let (mut t, mut sh, mut dram, mut led) = setup(200, MerkleConfig { arity: 4, node_cache_bytes: 512 });
+        let (mut t, mut sh, mut dram, mut led) = setup(
+            200,
+            MerkleConfig {
+                arity: 4,
+                node_cache_bytes: 512,
+            },
+        );
         let mut reference = vec![0u64; 200];
         // Deterministic pseudo-random bump pattern.
         let mut state = 0x9e3779b9u64;
         for _ in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = (state >> 33) as u32 % 200;
             reference[idx as usize] += 1;
-            t.bump(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming).unwrap();
+            t.bump(&mut sh, &mut dram, &mut led, idx, AccessMode::Streaming)
+                .unwrap();
         }
         for (idx, &expect) in reference.iter().enumerate() {
             assert_eq!(
-                t.counter(&mut sh, &mut dram, &mut led, idx as u32, AccessMode::Streaming).unwrap(),
+                t.counter(
+                    &mut sh,
+                    &mut dram,
+                    &mut led,
+                    idx as u32,
+                    AccessMode::Streaming
+                )
+                .unwrap(),
                 expect
             );
         }
@@ -677,7 +766,10 @@ mod tests {
 
     #[test]
     fn config_serde_round_trip() {
-        let cfg = MerkleConfig { arity: 16, node_cache_bytes: 4096 };
+        let cfg = MerkleConfig {
+            arity: 16,
+            node_cache_bytes: 4096,
+        };
         let mut w = Writer::new();
         cfg.serialize(&mut w);
         let bytes = w.finish();
@@ -687,8 +779,23 @@ mod tests {
 
     #[test]
     fn bad_arity_rejected() {
-        assert!(MerkleConfig { arity: 1, node_cache_bytes: 0 }.validate().is_err());
-        assert!(MerkleConfig { arity: 65, node_cache_bytes: 0 }.validate().is_err());
-        assert!(MerkleConfig { arity: 2, node_cache_bytes: 0 }.validate().is_ok());
+        assert!(MerkleConfig {
+            arity: 1,
+            node_cache_bytes: 0
+        }
+        .validate()
+        .is_err());
+        assert!(MerkleConfig {
+            arity: 65,
+            node_cache_bytes: 0
+        }
+        .validate()
+        .is_err());
+        assert!(MerkleConfig {
+            arity: 2,
+            node_cache_bytes: 0
+        }
+        .validate()
+        .is_ok());
     }
 }

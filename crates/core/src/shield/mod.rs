@@ -268,12 +268,18 @@ mod tests {
             .region(
                 "in",
                 MemRange::new(0, 4096),
-                EngineSetConfig { buffer_bytes: 1024, ..EngineSetConfig::default() },
+                EngineSetConfig {
+                    buffer_bytes: 1024,
+                    ..EngineSetConfig::default()
+                },
             )
             .region(
                 "out",
                 MemRange::new(1 << 20, 4096),
-                EngineSetConfig { zero_fill_writes: true, ..EngineSetConfig::default() },
+                EngineSetConfig {
+                    zero_fill_writes: true,
+                    ..EngineSetConfig::default()
+                },
             )
             .build()
             .unwrap();
@@ -282,7 +288,13 @@ mod tests {
         let dek = DataEncryptionKey::from_bytes([0x44u8; 32]);
         let lk = dek.to_load_key(&shield.public_key());
         shield.provision_load_key(&lk).unwrap();
-        (shield, Shell::new(), Dram::f1_default(), CostLedger::new(), dek)
+        (
+            shield,
+            Shell::new(),
+            Dram::f1_default(),
+            CostLedger::new(),
+            dek,
+        )
     }
 
     #[test]
@@ -296,7 +308,14 @@ mod tests {
         let mut dram = Dram::new(1 << 30);
         let mut ledger = CostLedger::new();
         assert!(matches!(
-            s.read(&mut shell, &mut dram, &mut ledger, 0, 64, AccessMode::Streaming),
+            s.read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                64,
+                AccessMode::Streaming
+            ),
             Err(ShefError::KeyNotProvisioned(_))
         ));
     }
@@ -312,21 +331,37 @@ mod tests {
         dram.tamper_write(shield.config().tag_base(0), &enc.tags);
         // Accelerator reads input, writes doubled bytes to output.
         let data = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 4096, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                4096,
+                AccessMode::Streaming,
+            )
             .unwrap();
         assert_eq!(data, input);
         let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 1 << 20, &doubled, AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                1 << 20,
+                &doubled,
+                AccessMode::Streaming,
+            )
             .unwrap();
         shield.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         // Data Owner reads back and decrypts output (epoch 0: write-once).
         let out_region = shield.config().regions[1].clone();
         let ct = dram.tamper_read(1 << 20, 4096);
-        let tags = dram.tamper_read(shield.config().tag_base(1), client::tag_bytes_for(4096, 512));
-        let out =
-            client::decrypt_region(&dek, &out_region, &ct, &tags, &client::uniform_epochs(0))
-                .unwrap();
+        let tags = dram.tamper_read(
+            shield.config().tag_base(1),
+            client::tag_bytes_for(4096, 512),
+        );
+        let out = client::decrypt_region(&dek, &out_region, &ct, &tags, &client::uniform_epochs(0))
+            .unwrap();
         assert_eq!(out, doubled);
     }
 
@@ -334,7 +369,14 @@ mod tests {
     fn unmapped_access_rejected() {
         let (mut shield, mut shell, mut dram, mut ledger, _) = shield();
         assert!(matches!(
-            shield.read(&mut shell, &mut dram, &mut ledger, 1 << 30, 64, AccessMode::Streaming),
+            shield.read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                1 << 30,
+                64,
+                AccessMode::Streaming
+            ),
             Err(ShefError::UnmappedAddress(_))
         ));
     }
@@ -359,7 +401,14 @@ mod tests {
         shield.zeroize();
         assert!(!shield.is_provisioned());
         assert!(shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, 64, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                64,
+                AccessMode::Streaming
+            )
             .is_err());
     }
 

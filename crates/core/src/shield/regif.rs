@@ -53,7 +53,11 @@ impl RegisterInterface {
     #[must_use]
     pub fn new(cfg: RegisterInterfaceConfig) -> Self {
         let regs = vec![0u64; cfg.num_registers];
-        RegisterInterface { cfg, key: None, regs }
+        RegisterInterface {
+            cfg,
+            key: None,
+            regs,
+        }
     }
 
     /// Installs the register key derived from the Data Encryption Key.
@@ -230,7 +234,10 @@ impl RegisterInterface {
     /// # Errors
     ///
     /// Fails with [`ShefError::Crypto`] on tag mismatch.
-    pub fn client_open_hidden(key: &AuthEncKey, sealed: &Sealed) -> Result<(usize, u64), ShefError> {
+    pub fn client_open_hidden(
+        key: &AuthEncKey,
+        sealed: &Sealed,
+    ) -> Result<(usize, u64), ShefError> {
         let plain = key.open(sealed, &common_ad())?;
         let mut r = Reader::new(&plain);
         let index = r.get_u32()? as usize;

@@ -342,7 +342,10 @@ mod tests {
         let mut client_a = StreamEndpoint::client_side(&dek, "pcie0", MacAlgorithm::HmacSha256);
         let mut shield_b = StreamEndpoint::shield_side(&dek, "pcie1", MacAlgorithm::HmacSha256);
         let frame = client_a.send(b"for channel 0");
-        assert!(shield_b.recv(&frame).is_err(), "cross-channel frames must fail");
+        assert!(
+            shield_b.recv(&frame).is_err(),
+            "cross-channel frames must fail"
+        );
     }
 
     #[test]
@@ -357,7 +360,11 @@ mod tests {
 
     #[test]
     fn works_with_all_mac_engines() {
-        for mac in [MacAlgorithm::HmacSha256, MacAlgorithm::PmacAes, MacAlgorithm::AesGcm] {
+        for mac in [
+            MacAlgorithm::HmacSha256,
+            MacAlgorithm::PmacAes,
+            MacAlgorithm::AesGcm,
+        ] {
             let dek = DataEncryptionKey::from_bytes([0x44u8; 32]);
             let mut client = StreamEndpoint::client_side(&dek, "ch", mac);
             let mut shield = StreamEndpoint::shield_side(&dek, "ch", mac);

@@ -134,20 +134,29 @@ pub fn mac_chunk_cost(cfg: &EngineSetConfig, len: usize) -> ChunkCost {
             // leaving a small bubble); engines also divide across chunks.
             let per_chunk = (len as u64).div_ceil(HMAC_BYTES_PER_CYCLE) + HMAC_CHUNK_BUBBLE;
             let lane = per_chunk.div_ceil(cfg.mac_engines as u64);
-            ChunkCost { lane: Cycles(lane), latency: Cycles(latency) }
+            ChunkCost {
+                lane: Cycles(lane),
+                latency: Cycles(latency),
+            }
         }
         MacAlgorithm::PmacAes => {
             // Parallel within the chunk: all engines share one chunk.
             let combined = PMAC_BYTES_PER_CYCLE_PER_ENGINE * cfg.mac_engines as u64;
             let work = (len as u64).div_ceil(combined) + AES_PIPELINE_FILL;
-            ChunkCost { lane: Cycles(work), latency: Cycles(work) }
+            ChunkCost {
+                lane: Cycles(work),
+                latency: Cycles(work),
+            }
         }
         MacAlgorithm::AesGcm => {
             // GHASH is also within-chunk parallel (powers of H), with a
             // higher per-engine rate and a short multiplier pipeline.
             let combined = GHASH_BYTES_PER_CYCLE_PER_ENGINE * cfg.mac_engines as u64;
             let work = (len as u64).div_ceil(combined) + AES_PIPELINE_FILL;
-            ChunkCost { lane: Cycles(work), latency: Cycles(work) }
+            ChunkCost {
+                lane: Cycles(work),
+                latency: Cycles(work),
+            }
         }
     }
 }

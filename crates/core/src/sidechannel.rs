@@ -35,10 +35,7 @@ pub struct GranularityReport {
 /// Analyses how many distinct chunk-level addresses a byte-address trace
 /// reveals under each candidate chunk size.
 #[must_use]
-pub fn access_granularity_analysis(
-    trace: &[u64],
-    chunk_sizes: &[usize],
-) -> Vec<GranularityReport> {
+pub fn access_granularity_analysis(trace: &[u64], chunk_sizes: &[usize]) -> Vec<GranularityReport> {
     chunk_sizes
         .iter()
         .map(|&cs| {
@@ -126,12 +123,19 @@ mod tests {
         assert_eq!(reports[1].observable_addresses, 8);
         assert_eq!(reports[2].observable_addresses, 1);
         // Monotonic: bigger chunks never reveal more.
-        assert!(reports.windows(2).all(|w| w[1].observable_addresses <= w[0].observable_addresses));
+        assert!(reports
+            .windows(2)
+            .all(|w| w[1].observable_addresses <= w[0].observable_addresses));
     }
 
     #[test]
     fn fence_scales_with_design() {
-        let design = Resources { bram: 0, lut: 10_000, reg: 20_000, ocm_bits: 0 };
+        let design = Resources {
+            bram: 0,
+            lut: 10_000,
+            reg: 20_000,
+            ocm_bits: 0,
+        };
         let fence = ActiveFence::generate(&design, 25, 42);
         assert_eq!(fence.fence_luts, 2_500);
         assert_eq!(fence.fence_regs, 5_000);

@@ -85,15 +85,21 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_u16(&mut self) -> Result<u16, ShefError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     pub fn get_u32(&mut self) -> Result<u32, ShefError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, ShefError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     pub fn get_bool(&mut self) -> Result<bool, ShefError> {

@@ -39,7 +39,9 @@ pub struct Manufacturer {
 
 impl core::fmt::Debug for Manufacturer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Manufacturer").field("ca", &self.ca).finish_non_exhaustive()
+        f.debug_struct("Manufacturer")
+            .field("ca", &self.ca)
+            .finish_non_exhaustive()
     }
 }
 
@@ -49,7 +51,10 @@ impl Manufacturer {
     pub fn new(seed: &[u8]) -> Self {
         let mut rng = HmacDrbg::from_seed(seed);
         let ca_seed = rng.generate_array::<32>();
-        Manufacturer { ca: CertificateAuthority::new(&ca_seed), rng }
+        Manufacturer {
+            ca: CertificateAuthority::new(&ca_seed),
+            rng,
+        }
     }
 
     /// The CA root key all parties pin.
@@ -85,7 +90,9 @@ impl Manufacturer {
         );
         let device_public = SigningKey::from_seed(&device_key_seed).verifying_key();
         self.ca.issue(
-            CertSubject::Device { die_serial: board.device.die_serial().to_vec() },
+            CertSubject::Device {
+                die_serial: board.device.die_serial().to_vec(),
+            },
             device_public,
         );
         Ok(())
@@ -102,7 +109,9 @@ impl Csp {
     /// Creates a CSP deploying the given Shell version.
     #[must_use]
     pub fn new(shell_version: &str) -> Self {
-        Csp { shell_version: shell_version.to_owned() }
+        Csp {
+            shell_version: shell_version.to_owned(),
+        }
     }
 
     /// Racks a provisioned board: stages the Security Kernel and loads
@@ -114,9 +123,10 @@ impl Csp {
     ///
     /// Returns [`ShefError::Fpga`] if the Shell is already resident.
     pub fn rack_board(&self, board: &mut Board) -> Result<(), ShefError> {
-        board
-            .boot_medium
-            .store(image_names::SECURITY_KERNEL, SECURITY_KERNEL_BINARY.to_vec());
+        board.boot_medium.store(
+            image_names::SECURITY_KERNEL,
+            SECURITY_KERNEL_BINARY.to_vec(),
+        );
         board
             .device
             .fabric
@@ -215,7 +225,10 @@ impl IpVendor {
         let nonce = self.rng.generate_array::<32>();
         let verif = EciesKeyPair::generate(&mut self.rng);
         (
-            AttestationChallenge { nonce, verif_public: verif.public_key().0 },
+            AttestationChallenge {
+                nonce,
+                verif_public: verif.public_key().0,
+            },
             VendorSession { nonce, verif },
         )
     }
@@ -243,7 +256,9 @@ impl IpVendor {
             .products
             .iter()
             .find(|(p, _)| p.accel_id == accel_id)
-            .ok_or_else(|| ShefError::ProtocolViolation(format!("unknown product {accel_id}")))?;
+            .ok_or_else(|| {
+            ShefError::ProtocolViolation(format!("unknown product {accel_id}"))
+        })?;
         let verification = VendorVerification {
             device_public: device_cert.public_key,
             known_kernels: &self.registry,
@@ -306,7 +321,9 @@ impl DataOwner {
     /// Creates a data owner with deterministic key material.
     #[must_use]
     pub fn new(seed: &[u8]) -> Self {
-        DataOwner { rng: HmacDrbg::from_seed(seed) }
+        DataOwner {
+            rng: HmacDrbg::from_seed(seed),
+        }
     }
 
     /// Fig. 2 steps 5–10: rents the board, stages the vendor's encrypted
@@ -339,16 +356,16 @@ impl DataOwner {
         let device_cert = manufacturer
             .ca()
             .device_certificate(board.device.die_serial())
-            .ok_or_else(|| {
-                ShefError::AttestationFailed("device has no certificate".into())
-            })?
+            .ok_or_else(|| ShefError::AttestationFailed("device has no certificate".into()))?
             .clone();
         let (sealed_key, shield_public) =
             vendor.complete_attestation(&session, &response, &device_cert, &product.accel_id)?;
         // Kernel decrypts + loads the accelerator.
         let bitstream = kernel_receive_bitstream_key(&mut board, &sealed_key)?;
         if bitstream.accel_id != product.accel_id {
-            return Err(ShefError::ProtocolViolation("bitstream/product mismatch".into()));
+            return Err(ShefError::ProtocolViolation(
+                "bitstream/product mismatch".into(),
+            ));
         }
         // Shield comes alive inside the PR region.
         let shield = Shield::new(bitstream.shield_config.clone(), bitstream.shield_keypair())?;
@@ -442,7 +459,10 @@ mod tests {
             .region(
                 "data",
                 MemRange::new(0, 1 << 20),
-                EngineSetConfig { zero_fill_writes: true, ..EngineSetConfig::default() },
+                EngineSetConfig {
+                    zero_fill_writes: true,
+                    ..EngineSetConfig::default()
+                },
             )
             .build()
             .unwrap()
@@ -515,10 +535,7 @@ mod tests {
             .package_accelerator("p2", shield_config(), vec![2])
             .unwrap();
         assert_ne!(p1.shield_public, p2.shield_public);
-        assert_ne!(
-            p1.encrypted_bitstream.hash(),
-            p2.encrypted_bitstream.hash()
-        );
+        assert_ne!(p1.encrypted_bitstream.hash(), p2.encrypted_bitstream.hash());
     }
 
     #[test]

@@ -41,7 +41,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             len: len.min((REGION_LEN - offset) as usize),
         }),
         (0..REGION_LEN - 1, any::<u8>(), 1usize..700).prop_map(|(offset, byte, len)| {
-            Op::Write { offset, byte, len: len.min((REGION_LEN - offset) as usize) }
+            Op::Write {
+                offset,
+                byte,
+                len: len.min((REGION_LEN - offset) as usize),
+            }
         }),
         Just(Op::Flush),
     ]
@@ -59,7 +63,10 @@ fn scheme_strategy() -> impl Strategy<Value = Scheme> {
     prop_oneof![
         Just(Scheme::MacOnly),
         Just(Scheme::Counters),
-        (prop_oneof![Just(2usize), Just(4), Just(8), Just(16)], 0usize..4096)
+        (
+            prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+            0usize..4096
+        )
             .prop_map(|(arity, cache)| Scheme::Merkle { arity, cache }),
     ]
 }
@@ -73,9 +80,13 @@ fn engine_for(
     let (counters, merkle) = match scheme {
         Scheme::MacOnly => (false, None),
         Scheme::Counters => (true, None),
-        Scheme::Merkle { arity, cache } => {
-            (false, Some(MerkleConfig { arity, node_cache_bytes: cache }))
-        }
+        Scheme::Merkle { arity, cache } => (
+            false,
+            Some(MerkleConfig {
+                arity,
+                node_cache_bytes: cache,
+            }),
+        ),
     };
     let region = RegionConfig {
         name: "prop".into(),
@@ -99,12 +110,8 @@ fn engine_for(
 /// Stages epoch-0 zeros into DRAM exactly as the Data Owner would — the
 /// Shield can only authenticate memory somebody provisioned.
 fn provision_zeros(region: &RegionConfig, dek: &DataEncryptionKey, dram: &mut Dram) {
-    let enc = shef_core::shield::client::encrypt_region(
-        dek,
-        region,
-        &vec![0u8; REGION_LEN as usize],
-        0,
-    );
+    let enc =
+        shef_core::shield::client::encrypt_region(dek, region, &vec![0u8; REGION_LEN as usize], 0);
     dram.tamper_write(REGION_BASE, &enc.ciphertext);
     dram.tamper_write(TAG_BASE, &enc.tags);
 }

@@ -151,7 +151,9 @@ pub struct Aes {
 impl core::fmt::Debug for Aes {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes").field("key_size", &self.key_size).finish_non_exhaustive()
+        f.debug_struct("Aes")
+            .field("key_size", &self.key_size)
+            .finish_non_exhaustive()
     }
 }
 
@@ -224,7 +226,10 @@ impl Aes {
                 rk
             })
             .collect();
-        Aes { round_keys, key_size }
+        Aes {
+            round_keys,
+            key_size,
+        }
     }
 
     /// Encrypts one 16-byte block.
@@ -321,7 +326,12 @@ pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for col in 0..4 {
-        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
+        let c = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
         state[4 * col] = gf_mul(c[0], 2) ^ gf_mul(c[1], 3) ^ c[2] ^ c[3];
         state[4 * col + 1] = c[0] ^ gf_mul(c[1], 2) ^ gf_mul(c[2], 3) ^ c[3];
         state[4 * col + 2] = c[0] ^ c[1] ^ gf_mul(c[2], 2) ^ gf_mul(c[3], 3);
@@ -331,7 +341,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for col in 0..4 {
-        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
+        let c = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
         state[4 * col] = gf_mul(c[0], 14) ^ gf_mul(c[1], 11) ^ gf_mul(c[2], 13) ^ gf_mul(c[3], 9);
         state[4 * col + 1] =
             gf_mul(c[0], 9) ^ gf_mul(c[1], 14) ^ gf_mul(c[2], 11) ^ gf_mul(c[3], 13);
@@ -394,7 +409,10 @@ mod tests {
             .try_into()
             .unwrap();
         let aes = Aes::new_128(&key);
-        assert_eq!(crate::to_hex(&aes.encrypt_block(&pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+        assert_eq!(
+            crate::to_hex(&aes.encrypt_block(&pt)),
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+        );
     }
 
     #[test]
@@ -434,7 +452,10 @@ mod tests {
     fn debug_does_not_leak_key() {
         let aes = Aes::new_128(&[0xaa; 16]);
         let dbg = format!("{aes:?}");
-        assert!(!dbg.contains("aa"), "debug output must not contain key bytes: {dbg}");
+        assert!(
+            !dbg.contains("aa"),
+            "debug output must not contain key bytes: {dbg}"
+        );
     }
 
     #[test]

@@ -79,8 +79,9 @@ impl Sealed {
             return Err(CryptoError::InvalidLength);
         }
         let iv: [u8; IV_LEN] = bytes[..IV_LEN].try_into().expect("iv slice");
-        let tag: [u8; TAG_LEN] =
-            bytes[IV_LEN..IV_LEN + TAG_LEN].try_into().expect("tag slice");
+        let tag: [u8; TAG_LEN] = bytes[IV_LEN..IV_LEN + TAG_LEN]
+            .try_into()
+            .expect("tag slice");
         Ok(Sealed {
             iv,
             tag,
@@ -122,11 +123,7 @@ impl AuthEncKey {
     /// Builds a key selecting the AES variant, mirroring the Shield's
     /// compile-time key-size parameter.
     #[must_use]
-    pub fn with_key_size(
-        master: [u8; 32],
-        algorithm: MacAlgorithm,
-        key_size: AesKeySize,
-    ) -> Self {
+    pub fn with_key_size(master: [u8; 32], algorithm: MacAlgorithm, key_size: AesKeySize) -> Self {
         let enc_key = hkdf::derive(&[], &master, b"shef.authenc.enc", key_size.key_len());
         let mac_key = hkdf::derive_key32(&[], &master, b"shef.authenc.mac");
         let mac_aes_key: [u8; 16] = mac_key[..16].try_into().expect("16 bytes");
@@ -170,12 +167,7 @@ impl AuthEncKey {
     /// voids confidentiality, exactly as in hardware; the Shield's
     /// counter discipline prevents it.
     #[must_use]
-    pub fn seal_with_iv(
-        &self,
-        plaintext: &[u8],
-        associated_data: &[u8],
-        iv: ChunkIv,
-    ) -> Sealed {
+    pub fn seal_with_iv(&self, plaintext: &[u8], associated_data: &[u8], iv: ChunkIv) -> Sealed {
         let mut ciphertext = plaintext.to_vec();
         ctr_xor(&self.enc, &iv, &mut ciphertext);
         let tag = self.compute_tag(associated_data, &iv.0, &ciphertext);
@@ -271,15 +263,18 @@ mod tests {
         // Same key material, same message: the three engines must not
         // collide (they are independent PRFs over the same inputs).
         let iv = crate::ctr::ChunkIv([3u8; 12]);
-        let tags: Vec<[u8; TAG_LEN]> =
-            [MacAlgorithm::HmacSha256, MacAlgorithm::PmacAes, MacAlgorithm::AesGcm]
-                .into_iter()
-                .map(|alg| {
-                    AuthEncKey::from_bytes([0x5au8; 32], alg)
-                        .seal_with_iv(b"payload", b"ad", iv)
-                        .tag
-                })
-                .collect();
+        let tags: Vec<[u8; TAG_LEN]> = [
+            MacAlgorithm::HmacSha256,
+            MacAlgorithm::PmacAes,
+            MacAlgorithm::AesGcm,
+        ]
+        .into_iter()
+        .map(|alg| {
+            AuthEncKey::from_bytes([0x5au8; 32], alg)
+                .seal_with_iv(b"payload", b"ad", iv)
+                .tag
+        })
+        .collect();
         assert_ne!(tags[0], tags[1]);
         assert_ne!(tags[0], tags[2]);
         assert_ne!(tags[1], tags[2]);
@@ -287,7 +282,11 @@ mod tests {
 
     #[test]
     fn rejects_ciphertext_tampering() {
-        for alg in [MacAlgorithm::HmacSha256, MacAlgorithm::PmacAes, MacAlgorithm::AesGcm] {
+        for alg in [
+            MacAlgorithm::HmacSha256,
+            MacAlgorithm::PmacAes,
+            MacAlgorithm::AesGcm,
+        ] {
             let mut k = key(alg);
             let mut sealed = k.seal(b"payload", b"ad");
             sealed.ciphertext[0] ^= 1;
@@ -342,11 +341,8 @@ mod tests {
 
     #[test]
     fn aes256_variant_works() {
-        let mut k = AuthEncKey::with_key_size(
-            [1u8; 32],
-            MacAlgorithm::HmacSha256,
-            AesKeySize::Aes256,
-        );
+        let mut k =
+            AuthEncKey::with_key_size([1u8; 32], MacAlgorithm::HmacSha256, AesKeySize::Aes256);
         let sealed = k.seal(b"data", b"");
         assert_eq!(k.open(&sealed, b"").unwrap(), b"data");
         // Different key size yields different ciphertext for same master.

@@ -126,7 +126,11 @@ mod tests {
         counter_block.copy_from_slice(&from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").unwrap());
         let keystream = aes.encrypt_block(&counter_block);
         let pt = from_hex("6bc1bee22e409f96e93d7e117393172a").unwrap();
-        let ct: Vec<u8> = pt.iter().zip(keystream.iter()).map(|(p, k)| p ^ k).collect();
+        let ct: Vec<u8> = pt
+            .iter()
+            .zip(keystream.iter())
+            .map(|(p, k)| p ^ k)
+            .collect();
         assert_eq!(crate::to_hex(&ct), "874d6191b620e3261bef6864990db6ce");
     }
 

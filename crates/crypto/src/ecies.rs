@@ -180,7 +180,10 @@ mod tests {
     fn round_trip() {
         let kp = EciesKeyPair::from_seed(b"recipient");
         let ct = encrypt(&kp.public_key(), b"data encryption key", b"load-key");
-        assert_eq!(decrypt(&kp, &ct, b"load-key").unwrap(), b"data encryption key");
+        assert_eq!(
+            decrypt(&kp, &ct, b"load-key").unwrap(),
+            b"data encryption key"
+        );
     }
 
     #[test]

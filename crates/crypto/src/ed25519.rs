@@ -45,8 +45,7 @@ impl Signature {
     ///
     /// Returns [`CryptoError::InvalidLength`] if `bytes` is not 64 bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
-        let arr: [u8; SIGNATURE_LEN] =
-            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        let arr: [u8; SIGNATURE_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
         Ok(Signature(arr))
     }
 
@@ -113,7 +112,9 @@ pub struct SigningKey {
 impl core::fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print secret material.
-        f.debug_struct("SigningKey").field("public", &self.public).finish_non_exhaustive()
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
     }
 }
 
@@ -272,7 +273,10 @@ mod tests {
         let sig = key.sign(b"x");
         let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
         assert_eq!(parsed, sig);
-        assert_eq!(Signature::from_bytes(&[0u8; 10]), Err(CryptoError::InvalidLength));
+        assert_eq!(
+            Signature::from_bytes(&[0u8; 10]),
+            Err(CryptoError::InvalidLength)
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
     use crate::{from_hex, to_hex};
 
     fn iv12(s: &str) -> [u8; 12] {
-        from_hex(s).expect("valid hex").try_into().expect("12-byte hex")
+        from_hex(s)
+            .expect("valid hex")
+            .try_into()
+            .expect("12-byte hex")
     }
 
     /// McGrew–Viega GCM spec test cases 1–4 (AES-128) and 13–14

@@ -68,7 +68,10 @@ impl Ghash {
     /// GCM).
     #[must_use]
     pub fn new(h: &[u8; GHASH_LEN]) -> Self {
-        Ghash { h: u128::from_be_bytes(*h), y: 0 }
+        Ghash {
+            h: u128::from_be_bytes(*h),
+            y: 0,
+        }
     }
 
     /// Absorbs `data`, zero-padding its final partial block (the GCM
@@ -116,7 +119,10 @@ mod tests {
     use crate::from_hex;
 
     fn h16(s: &str) -> [u8; 16] {
-        from_hex(s).expect("valid hex").try_into().expect("16-byte hex")
+        from_hex(s)
+            .expect("valid hex")
+            .try_into()
+            .expect("16-byte hex")
     }
 
     #[test]
@@ -165,10 +171,7 @@ mod tests {
         // = f38cbb1ad69223dcc3457ae5b6b0f885.
         let h = h16("66e94bd4ef8a2c3b884cfa59ca342b2e");
         let ct = from_hex("0388dace60b6a392f328c2b971b2fe78").expect("valid hex");
-        assert_eq!(
-            ghash(&h, b"", &ct),
-            h16("f38cbb1ad69223dcc3457ae5b6b0f885")
-        );
+        assert_eq!(ghash(&h, b"", &ct), h16("f38cbb1ad69223dcc3457ae5b6b0f885"));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
 /// Derives a fixed 32-byte key; convenience for the common case.
 #[must_use]
 pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
-    derive(salt, ikm, info, 32).try_into().expect("32 bytes requested")
+    derive(salt, ikm, info, 32)
+        .try_into()
+        .expect("32 bytes requested")
 }
 
 #[cfg(test)]

@@ -76,7 +76,11 @@ pub fn pmac_multi(aes: &Aes, parts: &[&[u8]]) -> [u8; PMAC_TAG_LEN] {
     // encrypted independently — the parallelizable part.
     let mut mask = dbl(&l);
     let last_full_is_final = rem == 0 && n_full > 0;
-    let parallel_blocks = if last_full_is_final { n_full - 1 } else { n_full };
+    let parallel_blocks = if last_full_is_final {
+        n_full - 1
+    } else {
+        n_full
+    };
     for i in 0..parallel_blocks {
         let block: [u8; 16] = data[i * 16..(i + 1) * 16].try_into().expect("full block");
         sigma = xor16(&sigma, &aes.encrypt_block(&xor16(&block, &mask)));

@@ -159,7 +159,10 @@ mod tests {
         assert!(m.load("missing").is_err());
         m.store(image_names::SECURITY_KERNEL, vec![1, 2, 3]);
         assert_eq!(m.load(image_names::SECURITY_KERNEL).unwrap(), &[1, 2, 3]);
-        assert_eq!(m.names().collect::<Vec<_>>(), vec![image_names::SECURITY_KERNEL]);
+        assert_eq!(
+            m.names().collect::<Vec<_>>(),
+            vec![image_names::SECURITY_KERNEL]
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub struct ClockDomain {
 
 impl ClockDomain {
     /// The AWS F1 Shell clock the paper's Shield runs at.
-    pub const F1_DEFAULT: ClockDomain = ClockDomain { freq_hz: 250_000_000 };
+    pub const F1_DEFAULT: ClockDomain = ClockDomain {
+        freq_hz: 250_000_000,
+    };
 
     /// Creates a clock domain at the given frequency.
     ///
@@ -203,7 +205,10 @@ mod tests {
         let clk = ClockDomain::new(250_000_000);
         assert_eq!(clk.cycles_to_us(Cycles(250)), 1.0);
         assert_eq!(clk.us_to_cycles(1.0), Cycles(250));
-        assert_eq!(clk.us_to_cycles(clk.cycles_to_us(Cycles(12_345))), Cycles(12_345));
+        assert_eq!(
+            clk.us_to_cycles(clk.cycles_to_us(Cycles(12_345))),
+            Cycles(12_345)
+        );
     }
 
     #[test]

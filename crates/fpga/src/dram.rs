@@ -259,7 +259,10 @@ mod tests {
     fn timing_charged_to_dram_lane() {
         let mut dram = Dram::with_timing(
             1 << 20,
-            DramTiming { bytes_per_cycle: 64, burst_latency: Cycles(10) },
+            DramTiming {
+                bytes_per_cycle: 64,
+                burst_latency: Cycles(10),
+            },
         );
         dram.write_burst(0, &[0u8; 6400]).unwrap();
         // 6400/64 = 100 transfer cycles + 2 bursts * 10 latency.

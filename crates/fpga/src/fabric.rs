@@ -145,7 +145,9 @@ mod tests {
     fn shell_then_partial() {
         let mut fabric = Fabric::new();
         assert!(fabric.load_partial(vec![1, 2, 3]).is_err());
-        fabric.load_shell("aws-f1-shell-v1.4", b"shell bits").unwrap();
+        fabric
+            .load_shell("aws-f1-shell-v1.4", b"shell bits")
+            .unwrap();
         let hash = fabric.load_partial(vec![1, 2, 3]).unwrap();
         assert_eq!(hash, Sha256::digest(&[1, 2, 3]));
         assert_eq!(fabric.partial().unwrap().payload, vec![1, 2, 3]);

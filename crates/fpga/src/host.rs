@@ -57,7 +57,10 @@ impl HostCpu {
     /// Creates a host with explicit timing.
     #[must_use]
     pub fn with_timing(timing: PcieTiming) -> Self {
-        HostCpu { timing, transfers: 0 }
+        HostCpu {
+            timing,
+            transfers: 0,
+        }
     }
 
     /// Number of DMA invocations so far.

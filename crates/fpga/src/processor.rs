@@ -164,7 +164,10 @@ mod tests {
         let mut p = SecurityKernelProcessor::new(ProcessorKind::HardenedCore);
         p.load_kernel(image(b"k"));
         p.private_memory().store("attest-key", vec![1, 2, 3]);
-        assert_eq!(p.private_memory_ref().load("attest-key"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(
+            p.private_memory_ref().load("attest-key"),
+            Some(&[1u8, 2, 3][..])
+        );
         assert_eq!(p.private_memory().take("attest-key"), Some(vec![1, 2, 3]));
         assert_eq!(p.private_memory_ref().load("attest-key"), None);
     }

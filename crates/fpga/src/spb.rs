@@ -108,7 +108,8 @@ mod tests {
 
     fn burned_keystore() -> KeyStore {
         let mut ks = KeyStore::new(b"die-test");
-        ks.burn_aes_key([0x11u8; 32], KeyProtection::PufWrapped).unwrap();
+        ks.burn_aes_key([0x11u8; 32], KeyProtection::PufWrapped)
+            .unwrap();
         ks
     }
 

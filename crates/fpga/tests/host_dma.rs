@@ -9,7 +9,12 @@ use shef_fpga::host::{HostCpu, PcieTiming};
 use shef_fpga::shell::Shell;
 
 fn env() -> (HostCpu, Shell, Dram, CostLedger) {
-    (HostCpu::new(), Shell::new(), Dram::new(1 << 24), CostLedger::new())
+    (
+        HostCpu::new(),
+        Shell::new(),
+        Dram::new(1 << 24),
+        CostLedger::new(),
+    )
 }
 
 #[test]
@@ -17,14 +22,19 @@ fn chained_descriptors_amortize_setup() {
     // Data + its tag array in one batch (one setup) must cost strictly
     // less serial time than two independent DMA invocations.
     let (mut host, mut shell, mut dram, mut ledger) = env();
-    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[1u8; 4096]).unwrap();
+    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[1u8; 4096])
+        .unwrap();
     host.dma_to_device_chained(&mut shell, &mut dram, &mut ledger, 1 << 20, &[2u8; 64])
         .unwrap();
     let chained_serial = ledger.serial();
 
     let (mut host2, mut shell2, mut dram2, mut ledger2) = env();
-    host2.dma_to_device(&mut shell2, &mut dram2, &mut ledger2, 0, &[1u8; 4096]).unwrap();
-    host2.dma_to_device(&mut shell2, &mut dram2, &mut ledger2, 1 << 20, &[2u8; 64]).unwrap();
+    host2
+        .dma_to_device(&mut shell2, &mut dram2, &mut ledger2, 0, &[1u8; 4096])
+        .unwrap();
+    host2
+        .dma_to_device(&mut shell2, &mut dram2, &mut ledger2, 1 << 20, &[2u8; 64])
+        .unwrap();
     let separate_serial = ledger2.serial();
 
     assert_eq!(
@@ -41,14 +51,24 @@ fn small_transfers_are_setup_dominated() {
     // The Fig. 5 mechanism: a 64-byte DMA costs essentially one setup;
     // only at megabyte scale does bandwidth dominate.
     let (mut host, mut shell, mut dram, mut ledger) = env();
-    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[0u8; 64]).unwrap();
+    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[0u8; 64])
+        .unwrap();
     let small = ledger.serial() + ledger.lane("pcie.in");
     let setup = PcieTiming::default().setup_cycles;
-    assert!(small < setup + Cycles(10), "64 B ≈ one setup, got {small:?}");
+    assert!(
+        small < setup + Cycles(10),
+        "64 B ≈ one setup, got {small:?}"
+    );
 
     let (mut host2, mut shell2, mut dram2, mut ledger2) = env();
     host2
-        .dma_to_device(&mut shell2, &mut dram2, &mut ledger2, 0, &vec![0u8; 4 << 20])
+        .dma_to_device(
+            &mut shell2,
+            &mut dram2,
+            &mut ledger2,
+            0,
+            &vec![0u8; 4 << 20],
+        )
         .unwrap();
     let big_bw = ledger2.lane("pcie.in");
     assert!(
@@ -61,8 +81,11 @@ fn small_transfers_are_setup_dominated() {
 fn directions_occupy_independent_lanes() {
     // PCIe is full duplex: staging inputs and draining outputs overlap.
     let (mut host, mut shell, mut dram, mut ledger) = env();
-    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[5u8; 4800]).unwrap();
-    let _ = host.dma_from_device(&mut shell, &mut dram, &mut ledger, 0, 4800).unwrap();
+    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0, &[5u8; 4800])
+        .unwrap();
+    let _ = host
+        .dma_from_device(&mut shell, &mut dram, &mut ledger, 0, 4800)
+        .unwrap();
     assert_eq!(ledger.lane("pcie.in"), Cycles(100));
     assert_eq!(ledger.lane("pcie.out"), Cycles(100));
     // The bottleneck view overlaps them rather than summing.
@@ -75,7 +98,8 @@ fn dma_content_reaches_dram_verbatim() {
     // already ciphertext when the data owner uses the Shield correctly).
     let (mut host, mut shell, mut dram, mut ledger) = env();
     let payload: Vec<u8> = (0..2048u32).map(|i| (i % 253) as u8).collect();
-    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0x4000, &payload).unwrap();
+    host.dma_to_device(&mut shell, &mut dram, &mut ledger, 0x4000, &payload)
+        .unwrap();
     assert_eq!(dram.tamper_read(0x4000, 2048), payload);
     let back = host
         .dma_from_device(&mut shell, &mut dram, &mut ledger, 0x4000, 2048)
@@ -102,6 +126,8 @@ fn transfer_count_tracks_every_invocation() {
         host.dma_to_device(&mut shell, &mut dram, &mut ledger, i * 4096, &[0u8; 128])
             .unwrap();
     }
-    let _ = host.dma_from_device_chained(&mut shell, &mut dram, &mut ledger, 0, 128).unwrap();
+    let _ = host
+        .dma_from_device_chained(&mut shell, &mut dram, &mut ledger, 0, 128)
+        .unwrap();
     assert_eq!(host.transfer_count(), 6);
 }

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example attack_demo`
 
-use shef::core::attacks::{
-    icap_swap, jtag_probe, MemReadSpoofer, ReplaySnapshot,
-};
+use shef::core::attacks::{icap_swap, jtag_probe, MemReadSpoofer, ReplaySnapshot};
 use shef::core::attest::kernel_check_monitors;
 use shef::core::shield::{client, AccessMode, EngineSetConfig, MemRange, ShieldConfig};
 use shef::core::workflow::TestBench;
@@ -24,12 +22,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .region(
             "secrets",
             MemRange::new(0, 64 * 1024),
-            EngineSetConfig { counters: true, buffer_bytes: 4096, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                counters: true,
+                buffer_bytes: 4096,
+                ..EngineSetConfig::default()
+            },
         )
         .build()?;
-    let product = bench.vendor.package_accelerator("target", config, vec![0xAC; 256])?;
+    let product = bench
+        .vendor
+        .package_accelerator("target", config, vec![0xAC; 256])?;
     let (mut instance, dek) =
-        bench.data_owner.deploy(board, &mut bench.vendor, &bench.manufacturer, &product)?;
+        bench
+            .data_owner
+            .deploy(board, &mut bench.vendor, &bench.manufacturer, &product)?;
     let region = instance.shield.config().regions[0].clone();
     let tag_base = instance.shield.config().tag_base(0);
     let mut ledger = CostLedger::new();
@@ -41,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     instance.board.device.dram.tamper_write(tag_base, &enc.tags);
 
     println!("attack 1: Shell man-in-the-middle flips ciphertext bits (spoofing)");
-    instance.board.shell.set_interposer(Box::new(MemReadSpoofer::new(1)));
+    instance
+        .board
+        .shell
+        .set_interposer(Box::new(MemReadSpoofer::new(1)));
     let outcome = instance.shield.read(
         &mut instance.board.shell,
         &mut instance.board.device.dram,

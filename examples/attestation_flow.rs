@@ -42,33 +42,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The vendor's product: a Shielded accelerator, encrypted under the
     // Bitstream Encryption Key that attestation will deliver.
     let config = ShieldConfig::builder()
-        .region("data", MemRange::new(0, 64 * 1024), EngineSetConfig::default())
+        .region(
+            "data",
+            MemRange::new(0, 64 * 1024),
+            EngineSetConfig::default(),
+        )
         .build()?;
-    let product = bench.vendor.package_accelerator(
-        "attest-demo-v1",
-        config,
-        b"<netlist>".to_vec(),
-    )?;
-    board
-        .boot_medium
-        .store(image_names::ACCELERATOR_BITSTREAM, product.encrypted_bitstream.0.clone());
+    let product =
+        bench
+            .vendor
+            .package_accelerator("attest-demo-v1", config, b"<netlist>".to_vec())?;
+    board.boot_medium.store(
+        image_names::ACCELERATOR_BITSTREAM,
+        product.encrypted_bitstream.0.clone(),
+    );
 
     // Secure boot must precede attestation: it provisions the
     // Attestation Key pair bound to (device key, H(SecKrnl)).
     let report = secure_boot(&mut board)?;
     println!("[boot]    H(SecKrnl)      = {}", hex8(&report.kernel_hash));
-    println!("[boot]    boot time       = {:.1} ms (model)", report.timing.total_ms());
+    println!(
+        "[boot]    boot time       = {:.1} ms (model)",
+        report.timing.total_ms()
+    );
     println!();
 
     // ---- Fig. 3 steps 1–2: challenge.
     let (challenge, session) = bench.vendor.begin_attestation();
     println!("[vendor]  n               = {}", hex8(&challenge.nonce));
-    println!("[vendor]  VerifKey_pub    = {}", hex8(&challenge.verif_public));
+    println!(
+        "[vendor]  VerifKey_pub    = {}",
+        hex8(&challenge.verif_public)
+    );
 
     // ---- Steps 3–4: the kernel builds and signs the report. Everything
     // below travels through the untrusted host program.
     let response = kernel_handle_challenge(&mut board, &challenge)?;
-    println!("[kernel]  α.nonce         = {}", hex8(&response.report.nonce));
+    println!(
+        "[kernel]  α.nonce         = {}",
+        hex8(&response.report.nonce)
+    );
     println!(
         "[kernel]  α.H(Enc(Accel)) = {}",
         hex8(&response.report.enc_bitstream_hash)
@@ -77,10 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "[kernel]  α.AttestKey_pub = {}",
         hex8(&response.report.attest_sign_public.0)
     );
-    println!("[kernel]  α.H(SecKrnl)    = {}", hex8(&response.report.kernel_hash));
-    println!("[kernel]  σ_SecKrnl       = {}", hex8(&response.report.sigma_seckrnl.0));
-    println!("[kernel]  σ_α             = {}", hex8(&response.sigma_alpha.0));
-    println!("[kernel]  σ_SessionKey    = {}", hex8(&response.sigma_session.0));
+    println!(
+        "[kernel]  α.H(SecKrnl)    = {}",
+        hex8(&response.report.kernel_hash)
+    );
+    println!(
+        "[kernel]  σ_SecKrnl       = {}",
+        hex8(&response.report.sigma_seckrnl.0)
+    );
+    println!(
+        "[kernel]  σ_α             = {}",
+        hex8(&response.sigma_alpha.0)
+    );
+    println!(
+        "[kernel]  σ_SessionKey    = {}",
+        hex8(&response.sigma_session.0)
+    );
 
     // ---- Steps 5–6: vendor-side verification chain.
     let device_cert = bench
@@ -89,19 +114,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .device_certificate(board.device.die_serial())
         .expect("manufacturer registered the device at production time")
         .clone();
-    let (sealed_bitstream_key, shield_public) = bench.vendor.complete_attestation(
-        &session,
-        &response,
-        &device_cert,
-        &product.accel_id,
-    )?;
+    let (sealed_bitstream_key, shield_public) =
+        bench
+            .vendor
+            .complete_attestation(&session, &response, &device_cert, &product.accel_id)?;
     println!();
     println!("[vendor]  device cert ✓  kernel registry ✓  nonce ✓  bitstream hash ✓");
-    println!("[vendor]  Enc_Session(BitstrKey) = {} bytes", sealed_bitstream_key.to_bytes().len());
+    println!(
+        "[vendor]  Enc_Session(BitstrKey) = {} bytes",
+        sealed_bitstream_key.to_bytes().len()
+    );
 
     // ---- Step 6 (kernel side): decrypt + load the accelerator.
     let bitstream = kernel_receive_bitstream_key(&mut board, &sealed_bitstream_key)?;
-    println!("[kernel]  bitstream '{}' decrypted and loaded into PR region", bitstream.accel_id);
+    println!(
+        "[kernel]  bitstream '{}' decrypted and loaded into PR region",
+        bitstream.accel_id
+    );
 
     // ---- Steps 7–8: Shield Encryption Key → Load Key → Shield.
     let mut shield = Shield::new(bitstream.shield_config.clone(), bitstream.shield_keypair())?;
@@ -128,12 +157,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (b) Tampered report: flipping a bit in H(Enc(Accel)) breaks σ_α.
     let mut tampered = response.clone();
     tampered.report.enc_bitstream_hash[0] ^= 1;
-    let bad = bench.vendor.complete_attestation(
-        &session,
-        &tampered,
-        &device_cert,
-        &product.accel_id,
-    );
+    let bad =
+        bench
+            .vendor
+            .complete_attestation(&session, &tampered, &device_cert, &product.accel_id);
     assert!(bad.is_err());
     println!("[vendor]  tampered α            → rejected ✓ (σ_α invalid)");
 
@@ -142,12 +169,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     signature chain.
     let mut rogue = response.clone();
     rogue.report.kernel_hash = [0xEE; 32];
-    let rogue_result = bench.vendor.complete_attestation(
-        &session,
-        &rogue,
-        &device_cert,
-        &product.accel_id,
-    );
+    let rogue_result =
+        bench
+            .vendor
+            .complete_attestation(&session, &rogue, &device_cert, &product.accel_id);
     assert!(rogue_result.is_err());
     println!("[vendor]  unregistered kernel   → rejected ✓ (registry miss)");
 

@@ -73,7 +73,10 @@ fn variants() -> Vec<Variant> {
             engine_set: EngineSetConfig {
                 mac: MacAlgorithm::AesGcm,
                 counters: false,
-                merkle: Some(MerkleConfig { arity: 8, node_cache_bytes: 16 * 1024 }),
+                merkle: Some(MerkleConfig {
+                    arity: 8,
+                    node_cache_bytes: 16 * 1024,
+                }),
                 ..base
             },
         },
@@ -91,7 +94,14 @@ fn run_workload(shield: &mut Shield) -> Result<u64, Box<dyn std::error::Error>> 
     let mut ledger = CostLedger::new();
 
     for start in (0..REGION).step_by(CHUNK) {
-        shield.write(&mut shell, &mut dram, &mut ledger, start, &[7u8; CHUNK], AccessMode::Streaming)?;
+        shield.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            start,
+            &[7u8; CHUNK],
+            AccessMode::Streaming,
+        )?;
     }
     shield.flush(&mut shell, &mut dram, &mut ledger)?;
 
@@ -99,9 +109,23 @@ fn run_workload(shield: &mut Shield) -> Result<u64, Box<dyn std::error::Error>> 
     for _ in 0..2_000 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         let addr = (state >> 16) % (REGION - 64);
-        let mut bytes = shield.read(&mut shell, &mut dram, &mut ledger, addr, 16, AccessMode::Streaming)?;
+        let mut bytes = shield.read(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            addr,
+            16,
+            AccessMode::Streaming,
+        )?;
         bytes[0] = bytes[0].wrapping_add(1);
-        shield.write(&mut shell, &mut dram, &mut ledger, addr, &bytes, AccessMode::Streaming)?;
+        shield.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            addr,
+            &bytes,
+            AccessMode::Streaming,
+        )?;
     }
     shield.flush(&mut shell, &mut dram, &mut ledger)?;
     ledger.merge(dram.ledger());
@@ -119,7 +143,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut floor: Option<f64> = None;
     for variant in variants() {
         let config = ShieldConfig::builder()
-            .region("state", MemRange::new(0, REGION), variant.engine_set.clone())
+            .region(
+                "state",
+                MemRange::new(0, REGION),
+                variant.engine_set.clone(),
+            )
             .build()?;
         let area = shield_area(&config);
         let mut shield = Shield::new(config, EciesKeyPair::from_seed(variant.label.as_bytes()))?;

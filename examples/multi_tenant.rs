@@ -30,7 +30,11 @@ fn tenant_shield(name: &str, base: u64, seed: &[u8]) -> Result<Shield, ShefError
         .region(
             name,
             MemRange::new(base, 256 * 1024),
-            EngineSetConfig { buffer_bytes: 8 * 1024, counters: true, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                buffer_bytes: 8 * 1024,
+                counters: true,
+                ..EngineSetConfig::default()
+            },
         )
         .build()?;
     Shield::new(config, EciesKeyPair::from_seed(seed))
@@ -64,14 +68,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v.truncate(512);
         v
     };
-    alice.write(&mut shell, &mut dram, &mut ledger, 0, &genome, AccessMode::Streaming)?;
+    alice.write(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        &genome,
+        AccessMode::Streaming,
+    )?;
     alice.flush(&mut shell, &mut dram, &mut ledger)?;
-    bob.write(&mut shell, &mut dram, &mut ledger, 1 << 26, &[0x42u8; 512], AccessMode::Streaming)?;
+    bob.write(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        1 << 26,
+        &[0x42u8; 512],
+        AccessMode::Streaming,
+    )?;
     bob.flush(&mut shell, &mut dram, &mut ledger)?;
     println!("[run]     both tenants wrote encrypted state to shared DRAM");
 
     // Property 2: the burst decoder confines each Shield to its regions.
-    let foreign = bob.read(&mut shell, &mut dram, &mut ledger, 0, 64, AccessMode::Streaming);
+    let foreign = bob.read(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        64,
+        AccessMode::Streaming,
+    );
     assert!(matches!(foreign, Err(ShefError::UnmappedAddress(_))));
     println!("[isolate] Bob's Shield reading Alice's region → unmapped ✓");
 
@@ -85,12 +110,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut flipped = dram.tamper_read(128, 1);
     flipped[0] ^= 0x80;
     dram.tamper_write(128, &flipped);
-    let tampered = alice.read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming);
+    let tampered = alice.read(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        512,
+        AccessMode::Streaming,
+    );
     assert!(matches!(tampered, Err(ShefError::IntegrityViolation(_))));
     println!("[detect]  Alice's Shield flags the tampered chunk ✓");
 
     // Bob is unaffected throughout.
-    let bob_data = bob.read(&mut shell, &mut dram, &mut ledger, 1 << 26, 512, AccessMode::Streaming)?;
+    let bob_data = bob.read(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        1 << 26,
+        512,
+        AccessMode::Streaming,
+    )?;
     assert_eq!(bob_data, vec![0x42u8; 512]);
     println!("[detect]  Bob's Shield unaffected ✓");
 

@@ -18,8 +18,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use shef::core::shield::{client, AccessMode};
-use shef::core::workflow::TestBench;
 use shef::core::shield::{EngineSetConfig, MemRange, ShieldConfig};
+use shef::core::workflow::TestBench;
 use shef::fpga::clock::CostLedger;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,12 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .region(
             "patient-records",
             MemRange::new(0, 1 << 20),
-            EngineSetConfig { buffer_bytes: 16 * 1024, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                buffer_bytes: 16 * 1024,
+                ..EngineSetConfig::default()
+            },
         )
         .region(
             "analysis-output",
             MemRange::new(1 << 30, 1 << 20),
-            EngineSetConfig { zero_fill_writes: true, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                zero_fill_writes: true,
+                ..EngineSetConfig::default()
+            },
         )
         .build()?;
     let product = bench.vendor.package_accelerator(
@@ -49,12 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shield_config,
         b"<accelerator netlist>".to_vec(),
     )?;
-    println!("[vendor]       '{}' published (encrypted bitstream)", product.accel_id);
+    println!(
+        "[vendor]       '{}' published (encrypted bitstream)",
+        product.accel_id
+    );
 
     // ---- Steps 6–10: boot, attest, load, provision — one call on the
     //      Data Owner, with every check the paper requires inside.
     let (mut instance, dek) =
-        bench.data_owner.deploy(board, &mut bench.vendor, &bench.manufacturer, &product)?;
+        bench
+            .data_owner
+            .deploy(board, &mut bench.vendor, &bench.manufacturer, &product)?;
     println!(
         "[data owner]   attested and deployed '{}' (boot took {:.1} s in the paper's model)",
         instance.accel_id,
@@ -84,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tag_base,
         &enc.tags,
     )?;
-    println!("[host]         staged {} ciphertext bytes (host never sees plaintext)", enc.ciphertext.len());
+    println!(
+        "[host]         staged {} ciphertext bytes (host never sees plaintext)",
+        enc.ciphertext.len()
+    );
 
     // The accelerator reads plaintext *inside* the Shield…
     let plain = instance.shield.read(
@@ -96,11 +110,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AccessMode::Streaming,
     )?;
     assert_eq!(plain, records);
-    println!("[accelerator]  sees plaintext through the Shield: {:?}…",
-             String::from_utf8_lossy(&plain[..24]));
+    println!(
+        "[accelerator]  sees plaintext through the Shield: {:?}…",
+        String::from_utf8_lossy(&plain[..24])
+    );
 
     // …while DRAM holds only ciphertext.
-    let raw = instance.board.device.dram.tamper_read(region.range.start, records.len());
+    let raw = instance
+        .board
+        .device
+        .dram
+        .tamper_read(region.range.start, records.len());
     assert_ne!(raw, records);
     println!("[adversary]    DRAM readout is ciphertext only ✓");
 

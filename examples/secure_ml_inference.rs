@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = accel.shield_config(&CryptoProfile::AES128_16X);
     println!("bespoke Shield for DNNWeaver/LeNet:");
     for region in &cfg.regions {
-        println!("  {:<8} {:>8} B  {}", region.name, region.range.len, region.engine_set.describe());
+        println!(
+            "  {:<8} {:>8} B  {}",
+            region.name,
+            region.range.len,
+            region.engine_set.describe()
+        );
     }
     let area = shield_area(&cfg);
     println!(

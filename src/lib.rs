@@ -12,7 +12,9 @@
 //! See the `examples/` directory for end-to-end walkthroughs
 //! (`quickstart`, `gdpr_storage`, `secure_ml_inference`, `attack_demo`,
 //! `attestation_flow`, `custom_engine`, `multi_tenant`, `secure_stream`)
-//! and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction methodology.
+//! and the repository `README.md` for build, test, and benchmark
+//! instructions, including how to regenerate the paper's tables and
+//! figures with the binaries in `crates/bench`.
 //! Beyond the paper's own design points, the Shield also ships the
 //! baselines and extensions the paper argues about: a Bonsai-Merkle-Tree
 //! replay defence (`core::shield::merkle`), a GHASH/GCM MAC engine,

@@ -15,7 +15,10 @@ fn simple_config() -> ShieldConfig {
         .region(
             "data",
             MemRange::new(0, 64 * 1024),
-            EngineSetConfig { buffer_bytes: 4096, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                buffer_bytes: 4096,
+                ..EngineSetConfig::default()
+            },
         )
         .build()
         .expect("valid config")
@@ -51,11 +54,7 @@ fn full_lifecycle_with_data_round_trip() {
             &enc.ciphertext,
         )
         .unwrap();
-    instance
-        .board
-        .device
-        .dram
-        .tamper_write(tag_base, &enc.tags);
+    instance.board.device.dram.tamper_write(tag_base, &enc.tags);
     let plain = instance
         .shield
         .read(
@@ -88,8 +87,7 @@ fn two_devices_have_distinct_attestation_identities() {
         .deploy(board_b, &mut bench.vendor, &bench.manufacturer, &product)
         .unwrap();
     assert_ne!(
-        instance_a.boot_report.attest_sign_public,
-        instance_b.boot_report.attest_sign_public,
+        instance_a.boot_report.attest_sign_public, instance_b.boot_report.attest_sign_public,
         "attestation keys must be device-unique"
     );
 }
@@ -119,7 +117,11 @@ fn unknown_kernel_is_rejected_by_vendor() {
 
     let mut manufacturer = Manufacturer::new(b"it-maker");
     // Vendor with an empty registry: no kernel is trusted.
-    let mut vendor = IpVendor::new("paranoid", manufacturer.ca_root(), MeasurementRegistry::new());
+    let mut vendor = IpVendor::new(
+        "paranoid",
+        manufacturer.ca_root(),
+        MeasurementRegistry::new(),
+    );
     let csp = Csp::new("shell-v1");
     let mut owner = DataOwner::new(b"it-owner");
     let mut board = Board::new(b"it-die-3");
@@ -195,7 +197,10 @@ fn shield_overhead_is_nonnegative_and_profile_ordered() {
     let fast = shef::accel::harness::overhead(&make, &CryptoProfile::AES128_16X).unwrap();
     let slow = shef::accel::harness::overhead(&make, &CryptoProfile::AES256_4X).unwrap();
     assert!(fast.normalized >= 1.0);
-    assert!(slow.normalized >= fast.normalized, "weaker profile cannot be faster");
+    assert!(
+        slow.normalized >= fast.normalized,
+        "weaker profile cannot be faster"
+    );
 }
 
 #[test]

@@ -23,7 +23,10 @@ fn fig5_shape_grows_with_size_and_separates_profiles() {
         &CryptoProfile::AES128_4X,
     )
     .unwrap();
-    assert!(large.normalized > small.normalized, "fig5 must grow with size");
+    assert!(
+        large.normalized > small.normalized,
+        "fig5 must grow with size"
+    );
     // …and 16x beats 4x at the same size.
     let strong = overhead(
         &|| Box::new(VectorAdd::new(SMOKE_FILE_BYTES, 1)) as Box<dyn Accelerator>,
@@ -36,7 +39,11 @@ fn fig5_shape_grows_with_size_and_separates_profiles() {
 /// Debug builds run the software crypto ~50× slower than release; scale
 /// the workload so `cargo test` stays fast while release keeps the full
 /// fidelity.
-const SMOKE_FILE_BYTES: usize = if cfg!(debug_assertions) { 64 * 1024 } else { 512 * 1024 };
+const SMOKE_FILE_BYTES: usize = if cfg!(debug_assertions) {
+    64 * 1024
+} else {
+    512 * 1024
+};
 
 #[test]
 fn table2_shape_hmac_flat_pmac_wins_then_saturates() {
@@ -47,7 +54,10 @@ fn table2_shape_hmac_flat_pmac_wins_then_saturates() {
                 Box::new(SdpStore::new(
                     SMOKE_FILE_BYTES,
                     2,
-                    vec![shef::accel::sdp::SdpOp::Get(0), shef::accel::sdp::SdpOp::Get(1)],
+                    vec![
+                        shef::accel::sdp::SdpOp::Get(0),
+                        shef::accel::sdp::SdpOp::Get(1),
+                    ],
                     engines,
                     5,
                 )) as Box<dyn Accelerator>
@@ -63,7 +73,10 @@ fn table2_shape_hmac_flat_pmac_wins_then_saturates() {
     let pmac_8 = run(cols[3].1);
     let pmac_16 = run(cols[4].1);
     // HMAC rows are within a few percent of each other (HMAC-bound).
-    assert!((hmac_4x - hmac_16x).abs() / hmac_4x < 0.05, "{hmac_4x} vs {hmac_16x}");
+    assert!(
+        (hmac_4x - hmac_16x).abs() / hmac_4x < 0.05,
+        "{hmac_4x} vs {hmac_16x}"
+    );
     // The PMAC swap is the big win (threshold relaxed at the debug scale
     // where fixed DMA costs compress ratios).
     let pmac_win = if cfg!(debug_assertions) { 0.95 } else { 0.8 };
@@ -73,13 +86,18 @@ fn table2_shape_hmac_flat_pmac_wins_then_saturates() {
     );
     // Engine scaling saturates.
     assert!(pmac_8 <= pmac_4 + 0.01);
-    assert!((pmac_16 - pmac_8).abs() < 0.15, "8x→16x engines must saturate");
+    assert!(
+        (pmac_16 - pmac_8).abs() < 0.15,
+        "8x→16x engines must saturate"
+    );
 }
 
 #[test]
 fn fig6_dnnweaver_pmac_story() {
     let mut hmac = DnnWeaver::new(2, 3);
-    let hmac_cycles = run_shielded(&mut hmac, &CryptoProfile::AES128_16X, 1).unwrap().cycles;
+    let hmac_cycles = run_shielded(&mut hmac, &CryptoProfile::AES128_16X, 1)
+        .unwrap()
+        .cycles;
     let mut pmac = DnnWeaver::new(2, 3).with_pmac_weights();
     let pmac_cycles = run_shielded(&mut pmac, &CryptoProfile::AES128_16X_PMAC, 1)
         .unwrap()
@@ -100,7 +118,11 @@ fn fig6_bitcoin_is_free_to_shield() {
         &CryptoProfile::AES256_4X,
     )
     .unwrap();
-    assert!(report.normalized < 1.05, "bitcoin overhead {}", report.normalized);
+    assert!(
+        report.normalized < 1.05,
+        "bitcoin overhead {}",
+        report.normalized
+    );
 }
 
 #[test]
@@ -109,7 +131,10 @@ fn table3_bitcoin_area_is_minimal() {
     let conv = shef::accel::conv::Convolution::new(shef::accel::conv::ConvDims::small(), 0);
     let b = shield_area(&bitcoin.shield_config(&CryptoProfile::AES128_16X));
     let c = shield_area(&conv.shield_config(&CryptoProfile::AES128_16X));
-    assert!(b.lut < c.lut / 5, "register-only shield must be far smaller");
+    assert!(
+        b.lut < c.lut / 5,
+        "register-only shield must be far smaller"
+    );
     assert_eq!(b.bram, 0);
 }
 
@@ -149,8 +174,15 @@ fn integrity_ablation_shape_counters_free_merkle_pays() {
         let (mut shell, mut dram) = (Shell::new(), Dram::new(1 << 26));
         let mut ledger = CostLedger::new();
         for start in (0..64 * 1024u64).step_by(64) {
-            es.write(&mut shell, &mut dram, &mut ledger, start, &[0u8; 64], AccessMode::Streaming)
-                .unwrap();
+            es.write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                start,
+                &[0u8; 64],
+                AccessMode::Streaming,
+            )
+            .unwrap();
         }
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         let mut ledger = CostLedger::new();
@@ -159,10 +191,24 @@ fn integrity_ablation_shape_counters_free_merkle_pays() {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
             let addr = (state >> 16) % (64 * 1024 - 8);
             let b = es
-                .read(&mut shell, &mut dram, &mut ledger, addr, 8, AccessMode::Streaming)
+                .read(
+                    &mut shell,
+                    &mut dram,
+                    &mut ledger,
+                    addr,
+                    8,
+                    AccessMode::Streaming,
+                )
                 .unwrap();
-            es.write(&mut shell, &mut dram, &mut ledger, addr, &b, AccessMode::Streaming)
-                .unwrap();
+            es.write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                addr,
+                &b,
+                AccessMode::Streaming,
+            )
+            .unwrap();
         }
         es.flush(&mut shell, &mut dram, &mut ledger).unwrap();
         ledger.bottleneck().0
@@ -170,11 +216,29 @@ fn integrity_ablation_shape_counters_free_merkle_pays() {
 
     let mac_only = run(false, None);
     let counters = run(true, None);
-    let merkle_cached = run(false, Some(MerkleConfig { arity: 8, node_cache_bytes: 8 * 1024 }));
-    let merkle = run(false, Some(MerkleConfig { arity: 8, node_cache_bytes: 0 }));
+    let merkle_cached = run(
+        false,
+        Some(MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 8 * 1024,
+        }),
+    );
+    let merkle = run(
+        false,
+        Some(MerkleConfig {
+            arity: 8,
+            node_cache_bytes: 0,
+        }),
+    );
     assert_eq!(counters, mac_only, "on-chip counters are free at run time");
-    assert!(merkle > 2 * counters, "uncached tree pays node walks: {merkle} vs {counters}");
-    assert!(merkle_cached < merkle, "node cache recovers part of the gap");
+    assert!(
+        merkle > 2 * counters,
+        "uncached tree pays node walks: {merkle} vs {counters}"
+    );
+    assert!(
+        merkle_cached < merkle,
+        "node cache recovers part of the gap"
+    );
 }
 
 #[test]
@@ -187,7 +251,11 @@ fn mac_engine_sweep_shape_gcm_between_families() {
     use shef::crypto::authenc::MacAlgorithm;
 
     let cost = |mac: MacAlgorithm| {
-        let cfg = EngineSetConfig { chunk_size: 4096, mac, ..EngineSetConfig::default() };
+        let cfg = EngineSetConfig {
+            chunk_size: 4096,
+            mac,
+            ..EngineSetConfig::default()
+        };
         mac_chunk_cost(&cfg, 4096).lane
     };
     let hmac = cost(MacAlgorithm::HmacSha256);

@@ -33,10 +33,20 @@ fn engine_set(scheme: Scheme) -> EngineSetConfig {
     let (counters, merkle) = match scheme {
         Scheme::MacOnly => (false, None),
         Scheme::Counters => (true, None),
-        Scheme::Merkle => (false, Some(MerkleConfig { arity: 8, node_cache_bytes: 0 })),
-        Scheme::MerkleCached => {
-            (false, Some(MerkleConfig { arity: 8, node_cache_bytes: 8 * 1024 }))
-        }
+        Scheme::Merkle => (
+            false,
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 0,
+            }),
+        ),
+        Scheme::MerkleCached => (
+            false,
+            Some(MerkleConfig {
+                arity: 8,
+                node_cache_bytes: 8 * 1024,
+            }),
+        ),
     };
     EngineSetConfig {
         chunk_size: CHUNK,
@@ -65,28 +75,70 @@ fn shield_for(scheme: Scheme) -> (Shield, Shell, Dram, CostLedger) {
 /// first version. Returns the victim's re-read result.
 fn replay_attack(scheme: Scheme) -> Result<Vec<u8>, ShefError> {
     let (mut shield, mut shell, mut dram, mut ledger) = shield_for(scheme);
-    shield.write(&mut shell, &mut dram, &mut ledger, 0, &[1u8; CHUNK], AccessMode::Streaming)?;
+    shield.write(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        &[1u8; CHUNK],
+        AccessMode::Streaming,
+    )?;
     shield.flush(&mut shell, &mut dram, &mut ledger)?;
     let old_ct = dram.tamper_read(0, CHUNK);
     let old_tag = dram.tamper_read(shield.config().tag_base(0), 16);
-    shield.write(&mut shell, &mut dram, &mut ledger, 0, &[2u8; CHUNK], AccessMode::Streaming)?;
+    shield.write(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        &[2u8; CHUNK],
+        AccessMode::Streaming,
+    )?;
     shield.flush(&mut shell, &mut dram, &mut ledger)?;
     dram.tamper_write(0, &old_ct);
     dram.tamper_write(shield.config().tag_base(0), &old_tag);
-    shield.read(&mut shell, &mut dram, &mut ledger, 0, CHUNK, AccessMode::Streaming)
+    shield.read(
+        &mut shell,
+        &mut dram,
+        &mut ledger,
+        0,
+        CHUNK,
+        AccessMode::Streaming,
+    )
 }
 
 #[test]
 fn happy_path_is_identical_across_schemes() {
     let payload: Vec<u8> = (0..REGION_LEN as u32).map(|i| (i % 241) as u8).collect();
-    for scheme in [Scheme::MacOnly, Scheme::Counters, Scheme::Merkle, Scheme::MerkleCached] {
+    for scheme in [
+        Scheme::MacOnly,
+        Scheme::Counters,
+        Scheme::Merkle,
+        Scheme::MerkleCached,
+    ] {
         let (mut shield, mut shell, mut dram, mut ledger) = shield_for(scheme);
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 0, &payload, AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                &payload,
+                AccessMode::Streaming,
+            )
             .expect("write");
-        shield.flush(&mut shell, &mut dram, &mut ledger).expect("flush");
+        shield
+            .flush(&mut shell, &mut dram, &mut ledger)
+            .expect("flush");
         let got = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, payload.len(), AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                payload.len(),
+                AccessMode::Streaming,
+            )
             .expect("read");
         assert_eq!(got, payload, "{scheme:?} must be functionally transparent");
     }
@@ -97,14 +149,30 @@ fn spoofing_detected_by_all_schemes() {
     for scheme in [Scheme::MacOnly, Scheme::Counters, Scheme::Merkle] {
         let (mut shield, mut shell, mut dram, mut ledger) = shield_for(scheme);
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 0, &[7u8; 2 * CHUNK], AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                &[7u8; 2 * CHUNK],
+                AccessMode::Streaming,
+            )
             .expect("write");
-        shield.flush(&mut shell, &mut dram, &mut ledger).expect("flush");
+        shield
+            .flush(&mut shell, &mut dram, &mut ledger)
+            .expect("flush");
         let mut b = dram.tamper_read(100, 1);
         b[0] ^= 0x10;
         dram.tamper_write(100, &b);
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, 0, CHUNK, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                CHUNK,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(
             matches!(err, ShefError::IntegrityViolation(_)),
@@ -118,7 +186,14 @@ fn splicing_detected_by_all_schemes() {
     for scheme in [Scheme::MacOnly, Scheme::Counters, Scheme::Merkle] {
         let (mut shield, mut shell, mut dram, mut ledger) = shield_for(scheme);
         shield
-            .write(&mut shell, &mut dram, &mut ledger, 0, &[1u8; CHUNK], AccessMode::Streaming)
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                &[1u8; CHUNK],
+                AccessMode::Streaming,
+            )
             .expect("write chunk 0");
         shield
             .write(
@@ -130,14 +205,23 @@ fn splicing_detected_by_all_schemes() {
                 AccessMode::Streaming,
             )
             .expect("write chunk 1");
-        shield.flush(&mut shell, &mut dram, &mut ledger).expect("flush");
+        shield
+            .flush(&mut shell, &mut dram, &mut ledger)
+            .expect("flush");
         // Copy chunk 0 (ciphertext + tag) over chunk 1.
         let c0 = dram.tamper_read(0, CHUNK);
         let t0 = dram.tamper_read(shield.config().tag_base(0), 16);
         dram.tamper_write(CHUNK as u64, &c0);
         dram.tamper_write(shield.config().tag_base(0) + 16, &t0);
         let err = shield
-            .read(&mut shell, &mut dram, &mut ledger, CHUNK as u64, CHUNK, AccessMode::Streaming)
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                CHUNK as u64,
+                CHUNK,
+                AccessMode::Streaming,
+            )
             .unwrap_err();
         assert!(
             matches!(err, ShefError::IntegrityViolation(_)),
@@ -181,13 +265,17 @@ fn merkle_pays_and_counters_do_not() {
                 AccessMode::Streaming,
             )
             .expect("warm-up write");
-        shield.flush(&mut shell, &mut dram, &mut ledger).expect("warm-up flush");
+        shield
+            .flush(&mut shell, &mut dram, &mut ledger)
+            .expect("warm-up flush");
         dram.reset_accounting();
         let mut ledger = CostLedger::new();
         let mut state = 0xfeedu64;
         for round in 0..3u8 {
             for _ in 0..64 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(round as u64 + 1);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(round as u64 + 1);
                 let addr = (state >> 16) % (REGION_LEN - CHUNK as u64);
                 shield
                     .write(
@@ -200,7 +288,9 @@ fn merkle_pays_and_counters_do_not() {
                     )
                     .expect("rmw write");
             }
-            shield.flush(&mut shell, &mut dram, &mut ledger).expect("flush");
+            shield
+                .flush(&mut shell, &mut dram, &mut ledger)
+                .expect("flush");
         }
         ledger.merge(dram.ledger());
         ledger.bottleneck().0
@@ -230,7 +320,11 @@ fn merkle_config_survives_the_full_vendor_pipeline() {
     let mut bench = TestBench::new("integrity-pipeline");
     let board = bench.fresh_board(b"die-integrity-01").expect("board");
     let config = ShieldConfig::builder()
-        .region("fmap", MemRange::new(0, REGION_LEN), engine_set(Scheme::MerkleCached))
+        .region(
+            "fmap",
+            MemRange::new(0, REGION_LEN),
+            engine_set(Scheme::MerkleCached),
+        )
         .build()
         .expect("config");
     let product = bench
@@ -241,7 +335,10 @@ fn merkle_config_survives_the_full_vendor_pipeline() {
         .data_owner
         .deploy(board, &mut bench.vendor, &bench.manufacturer, &product)
         .expect("deploy");
-    assert_eq!(instance.shield.config().regions[0].engine_set.merkle, config.regions[0].engine_set.merkle);
+    assert_eq!(
+        instance.shield.config().regions[0].engine_set.merkle,
+        config.regions[0].engine_set.merkle
+    );
 
     // The deployed Shield's Merkle path works against the real board DRAM.
     let mut ledger = CostLedger::new();
@@ -258,7 +355,11 @@ fn merkle_config_survives_the_full_vendor_pipeline() {
         .expect("write through deployed shield");
     instance
         .shield
-        .flush(&mut instance.board.shell, &mut instance.board.device.dram, &mut ledger)
+        .flush(
+            &mut instance.board.shell,
+            &mut instance.board.device.dram,
+            &mut ledger,
+        )
         .expect("flush");
     let got = instance
         .shield

@@ -21,7 +21,10 @@ fn shield(name: &str, base: u64, seed: &[u8]) -> Shield {
         .region(
             name,
             MemRange::new(base, 64 * 1024),
-            EngineSetConfig { buffer_bytes: 4096, ..EngineSetConfig::default() },
+            EngineSetConfig {
+                buffer_bytes: 4096,
+                ..EngineSetConfig::default()
+            },
         )
         .build()
         .unwrap();
@@ -36,8 +39,12 @@ fn two_shields_have_independent_keys_and_data() {
     // Each Data Owner provisions a distinct key into their Shield.
     let dek_a = DataEncryptionKey::from_bytes([0xA1u8; 32]);
     let dek_b = DataEncryptionKey::from_bytes([0xB2u8; 32]);
-    shield_a.provision_load_key(&dek_a.to_load_key(&shield_a.public_key())).unwrap();
-    shield_b.provision_load_key(&dek_b.to_load_key(&shield_b.public_key())).unwrap();
+    shield_a
+        .provision_load_key(&dek_a.to_load_key(&shield_a.public_key()))
+        .unwrap();
+    shield_b
+        .provision_load_key(&dek_b.to_load_key(&shield_b.public_key()))
+        .unwrap();
 
     let mut shell = Shell::new();
     let mut dram = Dram::f1_default();
@@ -45,19 +52,40 @@ fn two_shields_have_independent_keys_and_data() {
 
     // Tenant A writes a secret through its Shield.
     shield_a
-        .write(&mut shell, &mut dram, &mut ledger, 0, &[0xAAu8; 512], AccessMode::Streaming)
+        .write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0,
+            &[0xAAu8; 512],
+            AccessMode::Streaming,
+        )
         .unwrap();
     shield_a.flush(&mut shell, &mut dram, &mut ledger).unwrap();
 
     // Tenant A reads it back.
     let got = shield_a
-        .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+        .read(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0,
+            512,
+            AccessMode::Streaming,
+        )
         .unwrap();
     assert_eq!(got, vec![0xAAu8; 512]);
 
     // Tenant B's Shield cannot address tenant A's region at all…
     let err = shield_b
-        .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+        .read(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0,
+            512,
+            AccessMode::Streaming,
+        )
         .unwrap_err();
     assert!(matches!(err, ShefError::UnmappedAddress(_)));
 
@@ -66,9 +94,17 @@ fn two_shields_have_independent_keys_and_data() {
     // A's key: the adversary clones the config but has a different DEK.
     let mut evil = shield("tenant-a", 0, b"evil-clone");
     let dek_evil = DataEncryptionKey::from_bytes([0xEEu8; 32]);
-    evil.provision_load_key(&dek_evil.to_load_key(&evil.public_key())).unwrap();
+    evil.provision_load_key(&dek_evil.to_load_key(&evil.public_key()))
+        .unwrap();
     let err = evil
-        .read(&mut shell, &mut dram, &mut ledger, 0, 512, AccessMode::Streaming)
+        .read(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0,
+            512,
+            AccessMode::Streaming,
+        )
         .unwrap_err();
     assert!(matches!(err, ShefError::IntegrityViolation(_)));
 }

@@ -25,12 +25,14 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             let len = len.min((REGION_LEN - offset) as usize);
             Op::Read { offset, len }
         }),
-        (0u64..REGION_LEN, proptest::collection::vec(any::<u8>(), 1..600)).prop_map(
-            |(offset, mut data)| {
+        (
+            0u64..REGION_LEN,
+            proptest::collection::vec(any::<u8>(), 1..600)
+        )
+            .prop_map(|(offset, mut data)| {
                 data.truncate((REGION_LEN - offset) as usize);
                 Op::Write { offset, data }
-            }
-        ),
+            }),
     ]
 }
 
@@ -57,7 +59,13 @@ fn shield_setup(
     let dek = DataEncryptionKey::from_bytes([0x3Cu8; 32]);
     let lk = dek.to_load_key(&shield.public_key());
     shield.provision_load_key(&lk).unwrap();
-    (shield, Shell::new(), Dram::f1_default(), CostLedger::new(), dek)
+    (
+        shield,
+        Shell::new(),
+        Dram::f1_default(),
+        CostLedger::new(),
+        dek,
+    )
 }
 
 proptest! {
