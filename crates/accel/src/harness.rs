@@ -6,8 +6,10 @@
 //! both are timed end to end (host DMA in → kernel → host DMA out) and
 //! the figure reports the ratio.
 
-use shef_core::shield::bus::{MemoryBus, PlainBus, ShieldedBus};
-use shef_core::shield::{client, DataEncryptionKey, EngineSetStats, RegisterInterface, Shield};
+use shef_core::shield::bus::{MemoryBus, ParallelShieldedBus, PlainBus, ShieldedBus};
+use shef_core::shield::{
+    client, DataEncryptionKey, EngineSetStats, RegisterInterface, Shield, WorkerPool,
+};
 use shef_core::ShefError;
 use shef_crypto::ecies::EciesKeyPair;
 use shef_fpga::clock::{ClockDomain, CostLedger, Cycles};
@@ -66,6 +68,32 @@ pub fn run_shielded(
     profile: &CryptoProfile,
     seed: u64,
 ) -> Result<RunReport, ShefError> {
+    run_shielded_impl(accel, profile, seed, None)
+}
+
+/// [`run_shielded`] over the parallel multi-lane datapath: the kernel's
+/// bursts are batched and their chunk crypto fanned across `pool`'s
+/// lanes. Outputs are bit-identical to [`run_shielded`]; only the cost
+/// model (and hence the modelled cycles) sees the lane fan-out.
+///
+/// # Errors
+///
+/// Propagates configuration, integrity and bus errors.
+pub fn run_shielded_parallel(
+    accel: &mut dyn Accelerator,
+    profile: &CryptoProfile,
+    seed: u64,
+    pool: &WorkerPool,
+) -> Result<RunReport, ShefError> {
+    run_shielded_impl(accel, profile, seed, Some(pool))
+}
+
+fn run_shielded_impl(
+    accel: &mut dyn Accelerator,
+    profile: &CryptoProfile,
+    seed: u64,
+    pool: Option<&WorkerPool>,
+) -> Result<RunReport, ShefError> {
     let config = accel.shield_config(profile);
     config.validate()?;
     let keypair = EciesKeyPair::from_seed(format!("harness.shield.{seed}").as_bytes());
@@ -111,7 +139,17 @@ pub fn run_shielded(
     }
 
     // Kernel execution.
-    {
+    if let Some(pool) = pool {
+        let mut bus = ParallelShieldedBus {
+            shield: &mut shield,
+            shell: &mut shell,
+            dram: &mut dram,
+            ledger: &mut ledger,
+            pool,
+        };
+        accel.run(&mut bus)?;
+        bus.flush()?;
+    } else {
         let mut bus = ShieldedBus {
             shield: &mut shield,
             shell: &mut shell,
@@ -270,6 +308,31 @@ pub fn overhead(
     })
 }
 
+/// Measures the shielded/baseline ratio for one profile over the
+/// parallel datapath with `lanes` worker lanes.
+///
+/// # Errors
+///
+/// Propagates run errors from either side.
+pub fn overhead_parallel(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+    lanes: usize,
+) -> Result<OverheadReport, ShefError> {
+    let mut base = make_accel();
+    let baseline = run_baseline(base.as_mut())?;
+    let pool = WorkerPool::new(lanes);
+    let mut shielded_accel = make_accel();
+    let shielded = run_shielded_parallel(shielded_accel.as_mut(), profile, 42, &pool)?;
+    Ok(OverheadReport {
+        baseline_cycles: baseline.cycles,
+        shielded_cycles: shielded.cycles,
+        normalized: shielded.cycles.0 as f64 / baseline.cycles.0.max(1) as f64,
+        baseline_verified: baseline.outputs_verified,
+        shielded_verified: shielded.outputs_verified,
+    })
+}
+
 /// A baseline-vs-shielded comparison.
 #[derive(Debug, Clone, Copy)]
 pub struct OverheadReport {
@@ -314,6 +377,24 @@ mod tests {
         assert!(shielded.outputs_verified);
         // Security costs something.
         assert!(shielded.cycles >= baseline.cycles);
+    }
+
+    #[test]
+    fn parallel_harness_verifies_and_never_slows_down() {
+        let mut accel = VectorAdd::new(64 * 1024, 1);
+        let serial = run_shielded(&mut accel, &CryptoProfile::AES128_4X, 7).unwrap();
+        let mut accel = VectorAdd::new(64 * 1024, 1);
+        let pool = WorkerPool::new(4);
+        let parallel =
+            run_shielded_parallel(&mut accel, &CryptoProfile::AES128_4X, 7, &pool).unwrap();
+        assert!(parallel.outputs_verified);
+        // Lane fan-out can only shrink the modelled bottleneck.
+        assert!(parallel.cycles <= serial.cycles);
+        // And the engine sets actually dispatched batch work.
+        assert!(parallel
+            .engine_stats
+            .iter()
+            .any(|(_, s)| s.parallel_batches > 0 && s.parallel_speedup() > 1.0));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The parallel multi-lane datapath must be a pure performance
+//! transform: for every accelerator workload in the suite, a shielded
+//! run through `run_shielded_parallel` has to produce bit-identical
+//! outputs (the golden-model check inside the harness proves the bytes)
+//! and identical functional engine-set statistics — same hits, misses,
+//! write-backs and traffic — as the serial datapath. Only the modelled
+//! cycles may change, and only downward.
+
+use shef_accel::affine::AffineTransform;
+use shef_accel::bitcoin::Bitcoin;
+use shef_accel::conv::{ConvDims, Convolution};
+use shef_accel::digitrec::DigitRecognition;
+use shef_accel::dnnweaver::DnnWeaver;
+use shef_accel::harness::{run_shielded, run_shielded_parallel};
+use shef_accel::matmul::MatMul;
+use shef_accel::sdp::{SdpEngineConfig, SdpOp, SdpStore};
+use shef_accel::vecadd::VectorAdd;
+use shef_accel::{Accelerator, CryptoProfile};
+use shef_core::shield::{EngineSetStats, WorkerPool};
+
+const SEED: u64 = 42;
+
+/// The functional subset of the stats: everything except the
+/// parallel-datapath observability counters, which legitimately differ.
+fn functional(s: &EngineSetStats) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        s.hits,
+        s.misses,
+        s.writebacks,
+        s.integrity_failures,
+        s.bytes_read,
+        s.bytes_written,
+        s.zero_fills,
+    )
+}
+
+fn assert_parallel_matches_serial(name: &str, make: &dyn Fn() -> Box<dyn Accelerator>) {
+    let profile = CryptoProfile::AES128_4X;
+    let mut accel = make();
+    let serial = run_shielded(accel.as_mut(), &profile, SEED)
+        .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
+    assert!(
+        serial.outputs_verified,
+        "{name}: serial outputs not verified"
+    );
+
+    for lanes in [1usize, 2, 4] {
+        let pool = WorkerPool::new(lanes);
+        let mut accel = make();
+        let parallel = run_shielded_parallel(accel.as_mut(), &profile, SEED, &pool)
+            .unwrap_or_else(|e| panic!("{name}: parallel run ({lanes} lanes) failed: {e}"));
+        assert!(
+            parallel.outputs_verified,
+            "{name}: parallel outputs ({lanes} lanes) not verified against the golden model"
+        );
+
+        // No counter drift: region-by-region functional stats equality.
+        assert_eq!(
+            serial.engine_stats.len(),
+            parallel.engine_stats.len(),
+            "{name}: engine-set count drifted"
+        );
+        for ((rs, ss), (rp, sp)) in serial.engine_stats.iter().zip(&parallel.engine_stats) {
+            assert_eq!(rs, rp, "{name}: region order drifted");
+            assert_eq!(
+                functional(ss),
+                functional(sp),
+                "{name}: stats drift in region '{rs}' at {lanes} lanes"
+            );
+        }
+
+        // The fan-out may only shrink the modelled time; with one lane
+        // the charge is identical to the serial datapath by design.
+        assert!(
+            parallel.cycles <= serial.cycles,
+            "{name}: {lanes} lanes slower than serial ({} > {})",
+            parallel.cycles.0,
+            serial.cycles.0
+        );
+        if lanes == 1 {
+            assert_eq!(
+                parallel.cycles, serial.cycles,
+                "{name}: single-lane batching must cost exactly the serial path"
+            );
+        }
+    }
+}
+
+#[test]
+fn vecadd_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("vecadd", &|| Box::new(VectorAdd::new(16 * 1024, 3)));
+}
+
+#[test]
+fn matmul_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("matmul", &|| Box::new(MatMul::new(32, 9)));
+}
+
+#[test]
+fn conv_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("conv", &|| Box::new(Convolution::new(ConvDims::small(), 4)));
+}
+
+#[test]
+fn digitrec_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("digitrec", &|| Box::new(DigitRecognition::new(32, 50, 7)));
+}
+
+#[test]
+fn affine_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("affine", &|| Box::new(AffineTransform::new(64, 3)));
+}
+
+#[test]
+fn dnnweaver_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("dnnweaver", &|| Box::new(DnnWeaver::new(1, 5)));
+}
+
+#[test]
+fn dnnweaver_merkle_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("dnnweaver+merkle", &|| {
+        Box::new(DnnWeaver::new(1, 5).with_merkle_fmap())
+    });
+}
+
+#[test]
+fn bitcoin_parallel_is_bit_identical() {
+    assert_parallel_matches_serial("bitcoin", &|| Box::new(Bitcoin::new(10, 3)));
+}
+
+#[test]
+fn sdp_parallel_is_bit_identical() {
+    let engines = SdpEngineConfig::table2_columns()[2].1;
+    assert_parallel_matches_serial("sdp", &|| {
+        Box::new(SdpStore::new(
+            4096,
+            2,
+            vec![SdpOp::Get(0), SdpOp::Put(1), SdpOp::Get(1)],
+            engines,
+            1,
+        ))
+    });
+}

@@ -29,6 +29,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "integrity_ablation",
         "Integrity-scheme ablation (counters vs Bonsai Merkle Tree)",
     ),
+    (
+        "lane_scaling",
+        "Parallel-datapath lane scaling (source of the CI bench gate)",
+    ),
 ];
 
 fn main() {

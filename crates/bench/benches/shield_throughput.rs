@@ -1,6 +1,11 @@
 //! Criterion benchmarks of the Shield datapath itself: functional
 //! (wall-clock) throughput of engine-set reads/writes under different
 //! configurations, plus the end-to-end vecadd harness.
+//!
+//! The `shield_read_parallel` group sweeps the multi-lane datapath.
+//! Lane counts default to 1,2,4,8; override with the `--lanes`-style
+//! env knob `SHEF_LANES=1,4 cargo bench -p shef-bench --bench
+//! shield_throughput` (the vendored criterion shim takes no CLI args).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use shef_accel::harness::{run_baseline, run_shielded};
@@ -8,7 +13,7 @@ use shef_accel::vecadd::VectorAdd;
 use shef_accel::CryptoProfile;
 use shef_core::shield::client;
 use shef_core::shield::{
-    AccessMode, DataEncryptionKey, EngineSetConfig, MemRange, Shield, ShieldConfig,
+    AccessMode, DataEncryptionKey, EngineSetConfig, MemRange, Shield, ShieldConfig, WorkerPool,
 };
 use shef_crypto::authenc::MacAlgorithm;
 use shef_crypto::ecies::EciesKeyPair;
@@ -67,6 +72,45 @@ fn bench_shield_reads(c: &mut Criterion) {
                         0,
                         1 << 20,
                         AccessMode::Streaming,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Lane counts for the parallel-datapath sweep: `SHEF_LANES=1,4` or
+/// the 1,2,4,8 default.
+fn lane_counts() -> Vec<usize> {
+    match std::env::var("SHEF_LANES") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse().expect("SHEF_LANES must be integers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn bench_shield_reads_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shield_read_parallel");
+    group.sample_size(20);
+    for lanes in lane_counts() {
+        let (mut shield, mut shell, mut dram, _) = shielded_setup(4096, MacAlgorithm::HmacSha256);
+        let pool = WorkerPool::new(lanes);
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function(BenchmarkId::new("stream_1mb", format!("l{lanes}")), |b| {
+            b.iter(|| {
+                let mut ledger = CostLedger::new();
+                shield
+                    .read_parallel(
+                        &mut shell,
+                        &mut dram,
+                        &mut ledger,
+                        0,
+                        1 << 20,
+                        AccessMode::Streaming,
+                        &pool,
                     )
                     .unwrap()
             })
@@ -183,6 +227,7 @@ fn bench_replay_defences(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_shield_reads,
+    bench_shield_reads_parallel,
     bench_vecadd_end_to_end,
     bench_replay_defences
 );

@@ -17,6 +17,7 @@ use shef_fpga::dram::Dram;
 use shef_fpga::shell::Shell;
 
 use super::engine::AccessMode;
+use super::pool::WorkerPool;
 use super::timing::{PORT_READ_LANE, PORT_WRITE_LANE, SHELL_PORT_BYTES_PER_CYCLE};
 use super::Shield;
 use crate::ShefError;
@@ -84,6 +85,66 @@ impl MemoryBus for ShieldedBus<'_> {
 
     fn flush(&mut self) -> Result<(), ShefError> {
         self.shield.flush(self.shell, self.dram, self.ledger)
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.ledger.add_busy(ACCEL_LANE, Cycles(cycles));
+    }
+
+    fn reg_read(&mut self, index: usize) -> u64 {
+        self.shield.registers().accel_read(index)
+    }
+
+    fn reg_write(&mut self, index: usize, value: u64) {
+        self.shield.registers().accel_write(index, value);
+    }
+}
+
+/// The shielded binding over the parallel multi-lane datapath: every
+/// burst is batched and its chunk crypto fanned across the pool's
+/// lanes. Bit-identical to [`ShieldedBus`] on the data plane; only the
+/// cost model sees the lane fan-out.
+pub struct ParallelShieldedBus<'a> {
+    /// The Shield instance in the PR region.
+    pub shield: &'a mut Shield,
+    /// The CSP Shell.
+    pub shell: &'a mut Shell,
+    /// Device DRAM.
+    pub dram: &'a mut Dram,
+    /// Cost accounting for this kernel invocation.
+    pub ledger: &'a mut CostLedger,
+    /// The worker lanes (replicated engine groups).
+    pub pool: &'a WorkerPool,
+}
+
+impl MemoryBus for ParallelShieldedBus<'_> {
+    fn read(&mut self, addr: u64, len: usize, mode: AccessMode) -> Result<Vec<u8>, ShefError> {
+        self.shield.read_parallel(
+            self.shell,
+            self.dram,
+            self.ledger,
+            addr,
+            len,
+            mode,
+            self.pool,
+        )
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8], mode: AccessMode) -> Result<(), ShefError> {
+        self.shield.write_parallel(
+            self.shell,
+            self.dram,
+            self.ledger,
+            addr,
+            data,
+            mode,
+            self.pool,
+        )
+    }
+
+    fn flush(&mut self) -> Result<(), ShefError> {
+        self.shield
+            .flush_parallel(self.shell, self.dram, self.ledger, self.pool)
     }
 
     fn compute(&mut self, cycles: u64) {

@@ -5,7 +5,7 @@
 //! line size of `C_mem`"), and optional freshness counters. All DRAM
 //! traffic flows through the (untrusted, interposable) Shell.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use shef_crypto::authenc::AuthEncKey;
 use shef_fpga::clock::CostLedger;
@@ -16,9 +16,10 @@ use super::chunk::{open_chunk, seal_chunk, CHUNK_TAG_LEN};
 use super::config::RegionConfig;
 use super::keys::DataEncryptionKey;
 use super::merkle::{MerkleStats, MerkleTree};
+use super::pool::WorkerPool;
 use super::timing::{
-    buffer_hit_cost, chunk_crypto_cost, ACCEL_PORT_READ_LANE, ACCEL_PORT_WRITE_LANE,
-    PORT_READ_LANE, PORT_WRITE_LANE, SHELL_PORT_BYTES_PER_CYCLE,
+    buffer_hit_cost, chunk_crypto_cost, parallel_batch_cost, ACCEL_PORT_READ_LANE,
+    ACCEL_PORT_WRITE_LANE, PORT_READ_LANE, PORT_WRITE_LANE, SHELL_PORT_BYTES_PER_CYCLE,
 };
 use crate::ShefError;
 use shef_fpga::clock::Cycles;
@@ -52,6 +53,46 @@ pub struct EngineSetStats {
     pub bytes_written: u64,
     /// Zero-filled write allocations (streaming-write optimization).
     pub zero_fills: u64,
+    /// Batch operations dispatched through the parallel datapath.
+    pub parallel_batches: u64,
+    /// Chunk seal/open jobs issued by batch operations.
+    pub parallel_jobs: u64,
+    /// Lanes used by the most recent batch operation.
+    pub lanes: u64,
+    /// Most crypto jobs in flight within a single batch (queue-depth
+    /// high-water mark of the lane dispatcher).
+    pub queue_depth_hwm: u64,
+    /// Modelled crypto cycles summed over every batch job — what the
+    /// same work would occupy on one serial engine set.
+    pub lane_cycles_total: u64,
+    /// Modelled crypto cycles of the busiest lane, accumulated batch by
+    /// batch — the parallel makespan actually charged to the ledger.
+    pub lane_cycles_max: u64,
+}
+
+impl EngineSetStats {
+    /// Modelled speedup of the parallel datapath over a serial engine
+    /// set: serial-equivalent work divided by the accumulated makespan.
+    /// 1.0 when no batch work has been dispatched.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.lane_cycles_max == 0 {
+            1.0
+        } else {
+            self.lane_cycles_total as f64 / self.lane_cycles_max as f64
+        }
+    }
+
+    /// Fraction of the lanes' aggregate capacity the batch work kept
+    /// busy (1.0 = perfectly balanced across lanes).
+    #[must_use]
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lane_cycles_max == 0 || self.lanes == 0 {
+            1.0
+        } else {
+            self.lane_cycles_total as f64 / (self.lane_cycles_max * self.lanes) as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -461,6 +502,610 @@ impl EngineSet {
         self.lines.clear();
         self.lru.clear();
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel batch datapath (replicated engine sets, §5.2.2/§6).
+    //
+    // A batch operation walks its span exactly like the serial path —
+    // same hit/miss decisions, same LRU order, same epoch sequence —
+    // but instead of running each chunk's AES/MAC inline it *stages*
+    // the crypto and fans the whole batch across a [`WorkerPool`].
+    // Results merge in dispatch order, so the parallel path is
+    // bit-identical to the serial one on every success path.
+    //
+    // Two ordering hazards force a staged job to run inline ("materialize"):
+    //  * Hazard A — a fill reads a chunk whose evicted predecessor's
+    //    seal has not landed in DRAM yet: the seal runs inline first.
+    //  * Hazard B — eviction hits a dirty read-modify-write placeholder
+    //    whose fill is still in flight: the open runs inline first.
+    //
+    // On error the batch is drained, not abandoned: victim write-backs
+    // always land (their plaintext exists only in the staged job),
+    // fills verified before the failure point install as usual, and the
+    // earliest failing chunk in dispatch order is reported. Cycle
+    // charges cover all staged work — speculation is not free.
+    // -----------------------------------------------------------------
+
+    /// Stages a fill: reads ciphertext+tag, resolves the epoch, enqueues
+    /// the open, and parks a placeholder line so LRU bookkeeping matches
+    /// the serial walk. `dirty` pre-marks read-modify-write fills.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_stage_fill(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        plan: &mut BatchPlan,
+        idx: u32,
+        mode: AccessMode,
+        dirty: bool,
+    ) -> Result<(), ShefError> {
+        self.stats.misses += 1;
+        let len = self.chunk_len(idx);
+        // Hazard A: this chunk was evicted earlier in the batch and its
+        // seal has not landed — land it now so the fill reads fresh bytes.
+        self.batch_materialize_seal(shell, dram, ledger, plan, idx)?;
+        ledger.add_busy(
+            PORT_READ_LANE,
+            Cycles(((len + CHUNK_TAG_LEN) as u64).div_ceil(SHELL_PORT_BYTES_PER_CYCLE)),
+        );
+        let ciphertext = shell.mem_read(dram, self.chunk_addr(idx), len)?;
+        let tag_bytes = shell.mem_read(dram, self.tag_addr(idx), CHUNK_TAG_LEN)?;
+        let tag: [u8; CHUNK_TAG_LEN] = tag_bytes
+            .try_into()
+            .expect("tag read returns requested length");
+        let epoch = self.current_epoch(shell, dram, ledger, idx, mode)?;
+        plan.pending_open.insert(idx, plan.jobs.len());
+        plan.lens.push(len);
+        plan.jobs.push(Some(BatchJob::Open {
+            idx,
+            epoch,
+            ciphertext,
+            tag,
+        }));
+        plan.install.insert(idx);
+        self.lines.insert(
+            idx,
+            Line {
+                data: Vec::new(),
+                dirty,
+            },
+        );
+        self.touch_lru(idx);
+        Ok(())
+    }
+
+    /// Batch-mode `make_room`: evicts like the serial path but defers
+    /// victim seals onto the plan.
+    fn batch_evict(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        mode: AccessMode,
+        plan: &mut BatchPlan,
+    ) -> Result<(), ShefError> {
+        while self.lines.len() >= self.capacity_lines {
+            let victim = self
+                .lru
+                .pop_front()
+                .expect("lines non-empty implies lru non-empty");
+            if plan.pending_open.contains_key(&victim) {
+                if self.lines.get(&victim).is_some_and(|l| l.dirty) {
+                    // Hazard B: the line carries pending write bytes but
+                    // its fill is still in flight.
+                    self.batch_materialize_open(plan, victim)?;
+                } else {
+                    // Clean in-flight read fill: nothing to write back.
+                    // Cancel the install; the staged open still feeds the
+                    // caller's output buffer.
+                    plan.pending_open.remove(&victim);
+                    plan.install.remove(&victim);
+                    self.lines.remove(&victim);
+                    continue;
+                }
+            }
+            if self.lines.get(&victim).is_some_and(|l| l.dirty) {
+                let data = self.lines[&victim].data.clone();
+                let epoch = self.advance_epoch(shell, dram, ledger, victim, mode)?;
+                plan.stage_seal(victim, epoch, data);
+            }
+            self.lines.remove(&victim);
+        }
+        Ok(())
+    }
+
+    /// Runs a staged victim seal inline and lands it in DRAM (Hazard A).
+    /// No-op if `idx` has no pending seal. Its crypto cycles stay in the
+    /// batch cost model via the length recorded at staging time.
+    fn batch_materialize_seal(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        plan: &mut BatchPlan,
+        idx: u32,
+    ) -> Result<(), ShefError> {
+        let Some(pos) = plan.pending_seal.remove(&idx) else {
+            return Ok(());
+        };
+        let Some(BatchJob::Seal { idx, epoch, data }) = plan.jobs[pos].take() else {
+            unreachable!("pending_seal points at a staged seal job");
+        };
+        let (ciphertext, tag) =
+            seal_chunk(&self.key, self.nonce, &self.region.name, idx, epoch, &data);
+        ledger.add_busy(
+            PORT_WRITE_LANE,
+            Cycles(((ciphertext.len() + tag.len()) as u64).div_ceil(SHELL_PORT_BYTES_PER_CYCLE)),
+        );
+        shell.mem_write(dram, self.chunk_addr(idx), &ciphertext)?;
+        shell.mem_write(dram, self.tag_addr(idx), &tag)?;
+        self.stats.writebacks += 1;
+        Ok(())
+    }
+
+    /// Runs a staged fill open inline and installs the plaintext plus any
+    /// pending write bytes (Hazard B).
+    fn batch_materialize_open(&mut self, plan: &mut BatchPlan, idx: u32) -> Result<(), ShefError> {
+        let Some(pos) = plan.pending_open.remove(&idx) else {
+            return Ok(());
+        };
+        let Some(BatchJob::Open {
+            idx,
+            epoch,
+            ciphertext,
+            tag,
+        }) = plan.jobs[pos].take()
+        else {
+            unreachable!("pending_open points at a staged open job");
+        };
+        plan.install.remove(&idx);
+        let plaintext = match open_chunk(
+            &self.key,
+            self.nonce,
+            &self.region.name,
+            idx,
+            epoch,
+            &ciphertext,
+            &tag,
+        ) {
+            Ok(pt) => pt,
+            Err(e) => {
+                self.stats.integrity_failures += 1;
+                self.lines.remove(&idx);
+                if let Some(p) = self.lru.iter().position(|&i| i == idx) {
+                    self.lru.remove(p);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(line) = self.lines.get_mut(&idx) {
+            line.data = plaintext;
+            if let Some((off, bytes)) = plan.apply.remove(&idx) {
+                line.data[off..off + bytes.len()].copy_from_slice(&bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fans the staged jobs across the pool's lanes.
+    fn run_crypto_jobs(&self, pool: &WorkerPool, jobs: Vec<BatchJob>) -> Vec<BatchJobResult> {
+        let key = self.key.clone();
+        let nonce = self.nonce;
+        let name = self.region.name.clone();
+        pool.run(jobs, move |_, job| match job {
+            BatchJob::Seal { idx, epoch, data } => {
+                let (ciphertext, tag) = seal_chunk(&key, nonce, &name, idx, epoch, &data);
+                BatchJobResult::Sealed {
+                    idx,
+                    ciphertext,
+                    tag,
+                }
+            }
+            BatchJob::Open {
+                idx,
+                epoch,
+                ciphertext,
+                tag,
+            } => BatchJobResult::Opened {
+                idx,
+                plaintext: open_chunk(&key, nonce, &name, idx, epoch, &ciphertext, &tag),
+            },
+        })
+    }
+
+    /// Charges one batch's crypto to the ledger under the deterministic
+    /// round-robin lane model and updates the parallel counters.
+    ///
+    /// Streaming cost lands on per-lane sub-lanes `{set}.l{k}` (the
+    /// bottleneck model then sees the makespan, i.e. true overlap);
+    /// a single lane charges the set's base lane exactly like the serial
+    /// path. Blocking cost is the summed serial latency — lane count
+    /// cannot hide a stalled accelerator.
+    fn charge_crypto_batch(
+        &mut self,
+        ledger: &mut CostLedger,
+        lens: &[usize],
+        mode: AccessMode,
+        lanes: usize,
+    ) {
+        let lanes = lanes.max(1);
+        let batch = parallel_batch_cost(&self.region.engine_set, lens, lanes);
+        match mode {
+            AccessMode::Streaming => {
+                if lanes == 1 {
+                    ledger.add_busy(&self.lane, batch.per_lane[0]);
+                } else {
+                    for (k, &busy) in batch.per_lane.iter().enumerate() {
+                        if busy > Cycles::ZERO {
+                            ledger.add_busy(&format!("{}.l{k}", self.lane), busy);
+                        }
+                    }
+                }
+            }
+            AccessMode::Blocking => ledger.add_serial(batch.serial_latency),
+        }
+        self.stats.parallel_batches += 1;
+        self.stats.parallel_jobs += lens.len() as u64;
+        self.stats.lanes = lanes as u64;
+        self.stats.queue_depth_hwm = self.stats.queue_depth_hwm.max(lens.len() as u64);
+        self.stats.lane_cycles_total += batch.total().0;
+        self.stats.lane_cycles_max += batch.makespan().0;
+    }
+
+    /// Phase 2+3 of a batch operation: runs the staged crypto on the
+    /// pool, lands victim write-backs, installs verified fills in
+    /// dispatch order, and settles the cost model. Returns opened
+    /// plaintexts by chunk for output assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_execute(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        mode: AccessMode,
+        pool: &WorkerPool,
+        plan: BatchPlan,
+        walk_error: Option<ShefError>,
+    ) -> Result<HashMap<u32, Vec<u8>>, ShefError> {
+        let BatchPlan {
+            jobs,
+            lens,
+            apply,
+            install,
+            ..
+        } = plan;
+        let live: Vec<BatchJob> = jobs.into_iter().flatten().collect();
+        let results = self.run_crypto_jobs(pool, live);
+        let mut first_err: Option<ShefError> = None;
+        let mut opened: HashMap<u32, Vec<u8>> = HashMap::new();
+        for result in results {
+            match result {
+                BatchJobResult::Sealed {
+                    idx,
+                    ciphertext,
+                    tag,
+                } => {
+                    // Victim write-backs always land, even when the batch
+                    // fails: the evicted plaintext exists only here.
+                    ledger.add_busy(
+                        PORT_WRITE_LANE,
+                        Cycles(
+                            ((ciphertext.len() + tag.len()) as u64)
+                                .div_ceil(SHELL_PORT_BYTES_PER_CYCLE),
+                        ),
+                    );
+                    let landed = shell
+                        .mem_write(dram, self.chunk_addr(idx), &ciphertext)
+                        .and_then(|()| shell.mem_write(dram, self.tag_addr(idx), &tag));
+                    match landed {
+                        Ok(()) => self.stats.writebacks += 1,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e.into());
+                            }
+                        }
+                    }
+                }
+                BatchJobResult::Opened { idx, plaintext } => match plaintext {
+                    Ok(pt) => {
+                        // Past the first failure the serial walk would
+                        // never have reached this chunk: skip the install.
+                        if first_err.is_none() {
+                            if install.contains(&idx) {
+                                if let Some(line) = self.lines.get_mut(&idx) {
+                                    line.data = pt.clone();
+                                    if let Some((off, bytes)) = apply.get(&idx) {
+                                        line.data[*off..off + bytes.len()].copy_from_slice(bytes);
+                                    }
+                                }
+                            }
+                            opened.insert(idx, pt);
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            self.stats.integrity_failures += 1;
+                            first_err = Some(e);
+                        }
+                    }
+                },
+            }
+        }
+        self.charge_crypto_batch(ledger, &lens, mode, pool.lanes());
+        if first_err.is_some() || walk_error.is_some() {
+            // Drop placeholder lines whose fill never installed.
+            for idx in install {
+                if !opened.contains_key(&idx) {
+                    self.lines.remove(&idx);
+                    if let Some(p) = self.lru.iter().position(|&i| i == idx) {
+                        self.lru.remove(p);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(e) = walk_error {
+            return Err(e);
+        }
+        Ok(opened)
+    }
+
+    /// Parallel counterpart of [`EngineSet::read`]: same semantics and
+    /// DRAM end state, with chunk opens fanned across `pool`'s lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::IntegrityViolation`] for the earliest chunk
+    /// in dispatch order that fails authentication.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_chunks(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        addr: u64,
+        len: usize,
+        mode: AccessMode,
+        pool: &WorkerPool,
+    ) -> Result<Vec<u8>, ShefError> {
+        debug_assert!(self.region.range.contains_span(addr, len));
+        enum Segment {
+            Ready(Vec<u8>),
+            Fill {
+                idx: u32,
+                offset: usize,
+                take: usize,
+            },
+        }
+        let mut plan = BatchPlan::default();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut walk_error = None;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let idx = self.chunk_index(cur);
+            let chunk_start = self.chunk_addr(idx);
+            let offset = (cur - chunk_start) as usize;
+            let take = ((end - cur) as usize).min(self.chunk_len(idx) - offset);
+            let step = if self.lines.contains_key(&idx) {
+                self.stats.hits += 1;
+                self.touch_lru(idx);
+                let line = &self.lines[&idx];
+                segments.push(Segment::Ready(line.data[offset..offset + take].to_vec()));
+                Ok(())
+            } else {
+                self.batch_evict(shell, dram, ledger, mode, &mut plan)
+                    .and_then(|()| {
+                        self.batch_stage_fill(shell, dram, ledger, &mut plan, idx, mode, false)
+                    })
+                    .map(|()| segments.push(Segment::Fill { idx, offset, take }))
+            };
+            if let Err(e) = step {
+                walk_error = Some(e);
+                break;
+            }
+            ledger.add_busy(ACCEL_PORT_READ_LANE, buffer_hit_cost(take));
+            cur += take as u64;
+        }
+        let opened = self.batch_execute(shell, dram, ledger, mode, pool, plan, walk_error)?;
+        let mut out = Vec::with_capacity(len);
+        for seg in segments {
+            match seg {
+                Segment::Ready(bytes) => out.extend_from_slice(&bytes),
+                Segment::Fill { idx, offset, take } => {
+                    let pt = opened.get(&idx).expect("fill opened on success path");
+                    out.extend_from_slice(&pt[offset..offset + take]);
+                }
+            }
+        }
+        self.stats.bytes_read += len as u64;
+        Ok(out)
+    }
+
+    /// Parallel counterpart of [`EngineSet::write`]: read-modify-write
+    /// fills and victim seals are fanned across `pool`'s lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShefError::IntegrityViolation`] for the earliest chunk
+    /// in dispatch order that fails authentication.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_chunks(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        addr: u64,
+        data: &[u8],
+        mode: AccessMode,
+        pool: &WorkerPool,
+    ) -> Result<(), ShefError> {
+        debug_assert!(self.region.range.contains_span(addr, data.len()));
+        let mut plan = BatchPlan::default();
+        let mut walk_error = None;
+        let mut cur = addr;
+        let end = addr + data.len() as u64;
+        let mut src = 0usize;
+        while cur < end {
+            let idx = self.chunk_index(cur);
+            let chunk_start = self.chunk_addr(idx);
+            let offset = (cur - chunk_start) as usize;
+            let take = ((end - cur) as usize).min(self.chunk_len(idx) - offset);
+            let full_overwrite = offset == 0 && take == self.chunk_len(idx);
+            let zero_fill = !self.lines.contains_key(&idx)
+                && (full_overwrite || self.region.engine_set.zero_fill_writes);
+            let step = if self.lines.contains_key(&idx) {
+                self.stats.hits += 1;
+                self.touch_lru(idx);
+                let line = self.lines.get_mut(&idx).expect("resident");
+                line.data[offset..offset + take].copy_from_slice(&data[src..src + take]);
+                line.dirty = true;
+                Ok(())
+            } else if zero_fill {
+                self.batch_evict(shell, dram, ledger, mode, &mut plan)
+                    .map(|()| {
+                        self.stats.zero_fills += 1;
+                        let len = self.chunk_len(idx);
+                        let mut buf = vec![0u8; len];
+                        buf[offset..offset + take].copy_from_slice(&data[src..src + take]);
+                        self.lines.insert(
+                            idx,
+                            Line {
+                                data: buf,
+                                dirty: true,
+                            },
+                        );
+                        self.touch_lru(idx);
+                    })
+            } else {
+                self.batch_evict(shell, dram, ledger, mode, &mut plan)
+                    .and_then(|()| {
+                        self.batch_stage_fill(shell, dram, ledger, &mut plan, idx, mode, true)
+                    })
+                    .map(|()| {
+                        plan.apply
+                            .insert(idx, (offset, data[src..src + take].to_vec()));
+                    })
+            };
+            if let Err(e) = step {
+                walk_error = Some(e);
+                break;
+            }
+            ledger.add_busy(ACCEL_PORT_WRITE_LANE, buffer_hit_cost(take));
+            cur += take as u64;
+            src += take;
+        }
+        self.batch_execute(shell, dram, ledger, mode, pool, plan, walk_error)?;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Parallel counterpart of [`EngineSet::flush`]: dirty-line seals are
+    /// fanned across `pool`'s lanes, write-backs land in LRU order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM and epoch errors from write-back traffic; the
+    /// buffer is left intact on error, exactly like the serial flush.
+    pub fn flush_parallel(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        pool: &WorkerPool,
+    ) -> Result<(), ShefError> {
+        let mut plan = BatchPlan::default();
+        let mut walk_error = None;
+        let indices: Vec<u32> = self.lru.iter().copied().collect();
+        for idx in indices {
+            if !self.lines.get(&idx).is_some_and(|l| l.dirty) {
+                continue;
+            }
+            match self.advance_epoch(shell, dram, ledger, idx, AccessMode::Streaming) {
+                Ok(epoch) => {
+                    let data = self.lines[&idx].data.clone();
+                    plan.stage_seal(idx, epoch, data);
+                    if let Some(l) = self.lines.get_mut(&idx) {
+                        l.dirty = false;
+                    }
+                }
+                Err(e) => {
+                    walk_error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.batch_execute(
+            shell,
+            dram,
+            ledger,
+            AccessMode::Streaming,
+            pool,
+            plan,
+            walk_error,
+        )?;
+        self.lines.clear();
+        self.lru.clear();
+        Ok(())
+    }
+}
+
+/// A chunk-crypto job staged by a batch walk for pool execution.
+enum BatchJob {
+    Seal {
+        idx: u32,
+        epoch: u64,
+        data: Vec<u8>,
+    },
+    Open {
+        idx: u32,
+        epoch: u64,
+        ciphertext: Vec<u8>,
+        tag: [u8; CHUNK_TAG_LEN],
+    },
+}
+
+/// What came back from a lane for one staged job.
+enum BatchJobResult {
+    Sealed {
+        idx: u32,
+        ciphertext: Vec<u8>,
+        tag: [u8; CHUNK_TAG_LEN],
+    },
+    Opened {
+        idx: u32,
+        plaintext: Result<Vec<u8>, ShefError>,
+    },
+}
+
+/// Bookkeeping for one batch operation.
+#[derive(Default)]
+struct BatchPlan {
+    /// Staged jobs in dispatch order; tombstoned (`None`) when a hazard
+    /// forces inline materialization.
+    jobs: Vec<Option<BatchJob>>,
+    /// Plaintext length of every staged job (including materialized
+    /// ones) in dispatch order — drives the round-robin lane-cost model.
+    lens: Vec<usize>,
+    /// Chunk → staged position of a victim seal not yet landed in DRAM.
+    pending_seal: HashMap<u32, usize>,
+    /// Chunk → staged position of a fill open not yet landed.
+    pending_open: HashMap<u32, usize>,
+    /// Write bytes to patch into a chunk once its fill lands.
+    apply: HashMap<u32, (usize, Vec<u8>)>,
+    /// Chunks whose opened plaintext installs into the buffer.
+    install: HashSet<u32>,
+}
+
+impl BatchPlan {
+    fn stage_seal(&mut self, idx: u32, epoch: u64, data: Vec<u8>) {
+        self.pending_seal.insert(idx, self.jobs.len());
+        self.lens.push(data.len());
+        self.jobs.push(Some(BatchJob::Seal { idx, epoch, data }));
     }
 }
 
@@ -992,6 +1637,367 @@ mod tests {
             )
             .unwrap();
         assert!(ledger.lane(es.lane()) > Cycles::ZERO);
+    }
+
+    /// Serial-comparable slice of the stats (the parallel-only counters
+    /// exist only on the batch path, so they are excluded).
+    fn core_stats(s: EngineSetStats) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            s.hits,
+            s.misses,
+            s.writebacks,
+            s.integrity_failures,
+            s.bytes_read,
+            s.bytes_written,
+            s.zero_fills,
+        )
+    }
+
+    #[test]
+    fn parallel_read_matches_serial() {
+        let data: Vec<u8> = (0..8192u32).map(|i| (i * 13 % 256) as u8).collect();
+        let (mut es_s, mut shell_s, mut dram_s, mut ledger_s, _) = setup(512, 2048, true, false);
+        let (mut es_p, mut shell_p, mut dram_p, mut ledger_p, _) = setup(512, 2048, true, false);
+        provision(&es_s, &mut dram_s, &data);
+        provision(&es_p, &mut dram_p, &data);
+        let pool = WorkerPool::new(4);
+        for (addr, len) in [(0x1000u64, 8192usize), (0x1000 + 300, 700), (0x1000, 512)] {
+            let serial = es_s
+                .read(
+                    &mut shell_s,
+                    &mut dram_s,
+                    &mut ledger_s,
+                    addr,
+                    len,
+                    AccessMode::Streaming,
+                )
+                .unwrap();
+            let parallel = es_p
+                .read_chunks(
+                    &mut shell_p,
+                    &mut dram_p,
+                    &mut ledger_p,
+                    addr,
+                    len,
+                    AccessMode::Streaming,
+                    &pool,
+                )
+                .unwrap();
+            assert_eq!(serial, parallel);
+        }
+        assert_eq!(core_stats(es_s.stats()), core_stats(es_p.stats()));
+        // Total crypto work is conserved: the sub-lanes sum to the
+        // serial lane's cycles.
+        assert_eq!(
+            ledger_p.group_total(es_p.lane()),
+            ledger_s.lane(es_s.lane())
+        );
+        // ...but the makespan (busiest sub-lane) is strictly smaller.
+        assert!(ledger_p.group_makespan(es_p.lane()) < ledger_s.lane(es_s.lane()));
+        assert!(es_p.stats().parallel_speedup() > 1.0);
+    }
+
+    #[test]
+    fn parallel_write_matches_serial() {
+        // Mix of zero-fill full overwrites and read-modify-write fills,
+        // with evictions (buffer holds 2 of 16 chunks).
+        let data: Vec<u8> = (0..8192u32).map(|i| (i * 31 % 256) as u8).collect();
+        let (mut es_s, mut shell_s, mut dram_s, mut ledger_s, _) = setup(512, 1024, true, false);
+        let (mut es_p, mut shell_p, mut dram_p, mut ledger_p, _) = setup(512, 1024, true, false);
+        provision(&es_s, &mut dram_s, &data);
+        provision(&es_p, &mut dram_p, &data);
+        let pool = WorkerPool::new(4);
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
+        // Unaligned span: head and tail chunks are RMW, middle chunks
+        // are full overwrites.
+        es_s.write(
+            &mut shell_s,
+            &mut dram_s,
+            &mut ledger_s,
+            0x1000 + 200,
+            &payload,
+            AccessMode::Streaming,
+        )
+        .unwrap();
+        es_p.write_chunks(
+            &mut shell_p,
+            &mut dram_p,
+            &mut ledger_p,
+            0x1000 + 200,
+            &payload,
+            AccessMode::Streaming,
+            &pool,
+        )
+        .unwrap();
+        es_s.flush(&mut shell_s, &mut dram_s, &mut ledger_s)
+            .unwrap();
+        es_p.flush_parallel(&mut shell_p, &mut dram_p, &mut ledger_p, &pool)
+            .unwrap();
+        assert_eq!(core_stats(es_s.stats()), core_stats(es_p.stats()));
+        // Identical keys + identical epoch sequences mean the DRAM end
+        // state (ciphertext and tag arena) must match byte for byte.
+        assert_eq!(
+            dram_s.tamper_read(0x1000, 8192),
+            dram_p.tamper_read(0x1000, 8192)
+        );
+        assert_eq!(
+            dram_s.tamper_read(0x10_0000, 16 * CHUNK_TAG_LEN),
+            dram_p.tamper_read(0x10_0000, 16 * CHUNK_TAG_LEN)
+        );
+        // And both live sets decrypt back to the same plaintext.
+        let got_s = es_s
+            .read(
+                &mut shell_s,
+                &mut dram_s,
+                &mut ledger_s,
+                0x1000,
+                8192,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        let got_p = es_p
+            .read_chunks(
+                &mut shell_p,
+                &mut dram_p,
+                &mut ledger_p,
+                0x1000,
+                8192,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got_s, got_p);
+        assert_eq!(&got_p[200..3200], &payload[..]);
+    }
+
+    #[test]
+    fn same_batch_evict_then_refill_lands_fresh_bytes() {
+        // Hazard A: with a 1-line buffer, reading [chunk 0, chunk 1]
+        // while chunk 1 sits dirty in the buffer first evicts chunk 1
+        // (staged seal), then chunk 1's own fill must observe that seal.
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 512, true, false);
+        provision(&es, &mut dram, &data);
+        es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1200,
+            &[0xAB; 512],
+            AccessMode::Streaming,
+        )
+        .unwrap();
+        let pool = WorkerPool::new(4);
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                1024,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(&got[..512], &data[..512]);
+        assert_eq!(&got[512..], &[0xABu8; 512][..]);
+        assert_eq!(es.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn evicting_inflight_rmw_placeholder_matches_serial() {
+        // Hazard B: with a 1-line buffer, an unaligned write across two
+        // chunks evicts chunk 0's read-modify-write placeholder while its
+        // fill is still staged.
+        let data: Vec<u8> = (0..8192u32).map(|i| (i * 3 % 256) as u8).collect();
+        let (mut es_s, mut shell_s, mut dram_s, mut ledger_s, _) = setup(512, 512, true, false);
+        let (mut es_p, mut shell_p, mut dram_p, mut ledger_p, _) = setup(512, 512, true, false);
+        provision(&es_s, &mut dram_s, &data);
+        provision(&es_p, &mut dram_p, &data);
+        let pool = WorkerPool::new(4);
+        let payload = [0xCD; 512];
+        es_s.write(
+            &mut shell_s,
+            &mut dram_s,
+            &mut ledger_s,
+            0x1000 + 256,
+            &payload,
+            AccessMode::Streaming,
+        )
+        .unwrap();
+        es_p.write_chunks(
+            &mut shell_p,
+            &mut dram_p,
+            &mut ledger_p,
+            0x1000 + 256,
+            &payload,
+            AccessMode::Streaming,
+            &pool,
+        )
+        .unwrap();
+        es_s.flush(&mut shell_s, &mut dram_s, &mut ledger_s)
+            .unwrap();
+        es_p.flush_parallel(&mut shell_p, &mut dram_p, &mut ledger_p, &pool)
+            .unwrap();
+        assert_eq!(core_stats(es_s.stats()), core_stats(es_p.stats()));
+        let got_s = es_s
+            .read(
+                &mut shell_s,
+                &mut dram_s,
+                &mut ledger_s,
+                0x1000,
+                1024,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        let got_p = es_p
+            .read_chunks(
+                &mut shell_p,
+                &mut dram_p,
+                &mut ledger_p,
+                0x1000,
+                1024,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got_s, got_p);
+        assert_eq!(&got_p[256..768], &payload[..]);
+    }
+
+    #[test]
+    fn parallel_read_reports_earliest_corrupt_chunk() {
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 4096, false, false);
+        provision(&es, &mut dram, &vec![7u8; 8192]);
+        // Corrupt chunks 2 and 5; the batch must report chunk 2.
+        for idx in [2u64, 5] {
+            let addr = 0x1000 + idx * 512;
+            let mut byte = dram.tamper_read(addr, 1);
+            byte[0] ^= 1;
+            dram.tamper_write(addr, &byte);
+        }
+        let pool = WorkerPool::new(4);
+        let err = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                8192,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap_err();
+        let ShefError::IntegrityViolation(msg) = err else {
+            panic!("expected integrity violation");
+        };
+        assert!(msg.contains("chunk 2"), "earliest chunk wins: {msg}");
+        assert_eq!(es.stats().integrity_failures, 1);
+        // Chunks verified before the failure stay resident; later
+        // placeholders are dropped, so a clean prefix read still works.
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                1024,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got, vec![7u8; 1024]);
+        assert_eq!(es.stats().integrity_failures, 1);
+    }
+
+    #[test]
+    fn blocking_batches_charge_the_same_stall_as_serial() {
+        // Lane count must not hide a stalled accelerator: Blocking-mode
+        // serial latency is lane-count invariant and equals the serial
+        // path's.
+        let data = vec![9u8; 8192];
+        let (mut es_s, mut shell_s, mut dram_s, mut ledger_s, _) = setup(512, 4096, false, false);
+        let (mut es_p, mut shell_p, mut dram_p, mut ledger_p, _) = setup(512, 4096, false, false);
+        provision(&es_s, &mut dram_s, &data);
+        provision(&es_p, &mut dram_p, &data);
+        let pool = WorkerPool::new(8);
+        let _ = es_s
+            .read(
+                &mut shell_s,
+                &mut dram_s,
+                &mut ledger_s,
+                0x1000,
+                8192,
+                AccessMode::Blocking,
+            )
+            .unwrap();
+        let _ = es_p
+            .read_chunks(
+                &mut shell_p,
+                &mut dram_p,
+                &mut ledger_p,
+                0x1000,
+                8192,
+                AccessMode::Blocking,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(ledger_p.serial(), ledger_s.serial());
+    }
+
+    #[test]
+    fn parallel_merkle_round_trip_matches_serial() {
+        let (mut es_s, mut shell_s, mut dram_s, mut ledger_s, _) = setup_merkle(512, 1024, 0);
+        let (mut es_p, mut shell_p, mut dram_p, mut ledger_p, _) = setup_merkle(512, 1024, 0);
+        let pool = WorkerPool::new(3);
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 193) as u8).collect();
+        es_s.write(
+            &mut shell_s,
+            &mut dram_s,
+            &mut ledger_s,
+            0x1000,
+            &payload,
+            AccessMode::Streaming,
+        )
+        .unwrap();
+        es_p.write_chunks(
+            &mut shell_p,
+            &mut dram_p,
+            &mut ledger_p,
+            0x1000,
+            &payload,
+            AccessMode::Streaming,
+            &pool,
+        )
+        .unwrap();
+        es_s.flush(&mut shell_s, &mut dram_s, &mut ledger_s)
+            .unwrap();
+        es_p.flush_parallel(&mut shell_p, &mut dram_p, &mut ledger_p, &pool)
+            .unwrap();
+        let got_s = es_s
+            .read(
+                &mut shell_s,
+                &mut dram_s,
+                &mut ledger_s,
+                0x1000,
+                4096,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        let got_p = es_p
+            .read_chunks(
+                &mut shell_p,
+                &mut dram_p,
+                &mut ledger_p,
+                0x1000,
+                4096,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got_s, payload);
+        assert_eq!(got_p, payload);
+        assert_eq!(core_stats(es_s.stats()), core_stats(es_p.stats()));
     }
 
     #[test]

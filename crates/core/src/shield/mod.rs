@@ -20,6 +20,7 @@ pub mod config;
 pub mod engine;
 pub mod keys;
 pub mod merkle;
+pub mod pool;
 pub mod regif;
 pub mod stream;
 pub mod timing;
@@ -35,8 +36,10 @@ pub use config::{EngineSetConfig, MemRange, RegionConfig, RegisterInterfaceConfi
 pub use engine::{AccessMode, EngineSet, EngineSetStats};
 pub use keys::{DataEncryptionKey, KeyStorage, LoadKey};
 pub use merkle::{MerkleConfig, MerkleStats, MerkleTree};
+pub use pool::{PoolStats, WorkerPool};
 pub use regif::RegisterInterface;
 pub use stream::{StreamDirection, StreamEndpoint, StreamFrame};
+pub use timing::BatchCost;
 
 /// The Shield runtime instantiated in the PR region next to the
 /// accelerator.
@@ -215,6 +218,94 @@ impl Shield {
     ) -> Result<(), ShefError> {
         for set in &mut self.engine_sets {
             set.flush(shell, dram, ledger)?;
+        }
+        Ok(())
+    }
+
+    /// [`Shield::read`] over the parallel datapath: each covered engine
+    /// set fans its chunk crypto across `pool`'s lanes. Bit-identical to
+    /// the serial path on success.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Shield::read`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_parallel(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        addr: u64,
+        len: usize,
+        mode: AccessMode,
+        pool: &WorkerPool,
+    ) -> Result<Vec<u8>, ShefError> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let set = self.set_for(cur)?;
+            let span_end = set.region().range.end().min(end);
+            let take = (span_end - cur) as usize;
+            out.extend(set.read_chunks(shell, dram, ledger, cur, take, mode, pool)?);
+            cur = span_end;
+        }
+        Ok(out)
+    }
+
+    /// [`Shield::write`] over the parallel datapath.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Shield::read`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_parallel(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        addr: u64,
+        data: &[u8],
+        mode: AccessMode,
+        pool: &WorkerPool,
+    ) -> Result<(), ShefError> {
+        let mut cur = addr;
+        let end = addr + data.len() as u64;
+        let mut offset = 0usize;
+        while cur < end {
+            let set = self.set_for(cur)?;
+            let span_end = set.region().range.end().min(end);
+            let take = (span_end - cur) as usize;
+            set.write_chunks(
+                shell,
+                dram,
+                ledger,
+                cur,
+                &data[offset..offset + take],
+                mode,
+                pool,
+            )?;
+            cur = span_end;
+            offset += take;
+        }
+        Ok(())
+    }
+
+    /// [`Shield::flush`] over the parallel datapath: each engine set's
+    /// dirty-line seals are fanned across `pool`'s lanes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-back errors.
+    pub fn flush_parallel(
+        &mut self,
+        shell: &mut Shell,
+        dram: &mut Dram,
+        ledger: &mut CostLedger,
+        pool: &WorkerPool,
+    ) -> Result<(), ShefError> {
+        for set in &mut self.engine_sets {
+            set.flush_parallel(shell, dram, ledger, pool)?;
         }
         Ok(())
     }

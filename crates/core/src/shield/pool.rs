@@ -1,0 +1,306 @@
+//! Hand-rolled worker pool backing the parallel chunk-crypto datapath.
+//!
+//! The paper's Shield gets its throughput from *replicated* engine sets
+//! (§5.2.2, §6): several AES/MAC engine groups seal and open memory
+//! chunks concurrently. This module is the execution substrate for that
+//! replication in the simulator: a fixed set of worker lanes
+//! (`std::thread` + `mpsc` channels — the workspace builds offline, so
+//! no rayon/crossbeam) that chunk-crypto batches are fanned across.
+//!
+//! Determinism contract: [`WorkerPool::run`] returns results in the
+//! exact order of the submitted jobs regardless of which lane executed
+//! what or in which order lanes finished. All *modelled* cost accounting
+//! (see [`super::timing::parallel_batch_cost`]) is computed from a
+//! deterministic round-robin lane assignment, never from real-thread
+//! scheduling, so cycle ledgers and engine-set statistics are
+//! bit-reproducible run to run. Only the observability counters in
+//! [`PoolStats`] reflect real scheduling.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its worker lanes.
+struct PoolShared {
+    /// Jobs submitted but not yet picked up by a lane.
+    queued: AtomicUsize,
+    /// High-water mark of `queued` (real scheduling; observability only).
+    queue_high_water: AtomicUsize,
+    /// Jobs executed per lane (real scheduling; observability only).
+    jobs_per_lane: Vec<AtomicU64>,
+    /// Batches dispatched through [`WorkerPool::run`].
+    batches: AtomicU64,
+}
+
+/// Observability counters for a pool. These reflect *real* thread
+/// scheduling and are therefore not deterministic; the timing model
+/// never reads them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker lanes.
+    pub lanes: usize,
+    /// Jobs executed by each lane.
+    pub jobs_per_lane: Vec<u64>,
+    /// Most jobs ever waiting in the shared queue at once.
+    pub queue_high_water: usize,
+    /// Batches dispatched through [`WorkerPool::run`].
+    pub batches: u64,
+}
+
+/// A fixed-size pool of crypto worker lanes.
+///
+/// One lane models one replicated engine group. A pool with a single
+/// lane executes jobs inline on the caller thread (a serial engine set
+/// has no fan-out hardware), so `WorkerPool::new(1)` is a zero-overhead
+/// stand-in for the serial datapath.
+pub struct WorkerPool {
+    lanes: usize,
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl core::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `lanes` worker lanes (clamped to at least 1).
+    /// A one-lane pool spawns no threads and runs jobs inline.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(PoolShared {
+            queued: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            jobs_per_lane: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            batches: AtomicU64::new(0),
+        });
+        if lanes == 1 {
+            return WorkerPool {
+                lanes,
+                sender: None,
+                workers: Vec::new(),
+                shared,
+            };
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..lanes)
+            .map(|lane| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("shef-shield-lane{lane}"))
+                    .spawn(move || loop {
+                        // Take the next job while holding the queue lock,
+                        // then release it before running the job so other
+                        // lanes keep draining.
+                        let job = {
+                            let guard = rx.lock().expect("pool queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                                job();
+                                shared.jobs_per_lane[lane].fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Channel closed: the pool is shutting down.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn shield worker lane")
+            })
+            .collect();
+        WorkerPool {
+            lanes,
+            sender: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Snapshot of the observability counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            lanes: self.lanes,
+            jobs_per_lane: self
+                .shared
+                .jobs_per_lane
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue_high_water: self.shared.queue_high_water.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` over every item, fanning the work across the pool's
+    /// lanes, and returns the results **in submission order**.
+    ///
+    /// Panics in `f` are caught on the worker lane and re-raised on the
+    /// caller thread for the earliest-index failing item, so a poisoned
+    /// batch cannot deadlock the pool.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let n = items.len();
+        let Some(sender) = &self.sender else {
+            // Single lane: inline execution, trivially deterministic.
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        };
+        if n <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let f = Arc::new(f);
+        let (done_tx, done_rx) = mpsc::channel();
+        for (i, item) in items.into_iter().enumerate() {
+            let queued = self.shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
+            self.shared
+                .queue_high_water
+                .fetch_max(queued, Ordering::Relaxed);
+            let f = Arc::clone(&f);
+            let done_tx = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)));
+                let _ = done_tx.send((i, outcome));
+            });
+            sender
+                .send(job)
+                .expect("pool lanes alive while handle held");
+        }
+        drop(done_tx);
+        let mut slots: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = done_rx.recv().expect("every job reports exactly once");
+            slots[i] = Some(outcome);
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.expect("all slots filled") {
+                Ok(r) => out.push(r),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every lane out of `recv`.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = pool.run(items, |i, x| {
+            // Stagger lane timing so completion order scrambles.
+            if i % 7 == 0 {
+                thread::sleep(std::time::Duration::from_micros(50));
+            }
+            x * 3 + 1
+        });
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn single_lane_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let tid = thread::current().id();
+        let out = pool.run(vec![(); 8], move |i, ()| {
+            assert_eq!(thread::current().id(), tid, "lane 1 must execute inline");
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(pool.stats().jobs_per_lane.iter().all(|&j| j == 0));
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.lanes(), 1);
+        assert_eq!(pool.run(vec![5u8], |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u8> = pool.run(Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lanes_share_the_work() {
+        let pool = WorkerPool::new(4);
+        // Enough jobs that every lane should get some.
+        let _ = pool.run((0..4096u64).collect(), |_, x| x.wrapping_mul(2));
+        let stats = pool.stats();
+        assert_eq!(stats.lanes, 4);
+        assert_eq!(stats.jobs_per_lane.iter().sum::<u64>(), 4096);
+        assert!(stats.batches >= 1);
+        assert!(stats.queue_high_water >= 1);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50u64 {
+            let out = pool.run((0..17u64).collect(), move |_, x| x + round);
+            assert_eq!(out, (round..17 + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_in_job_propagates_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run((0..8u64).collect(), |_, x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.run(vec![1u64, 2], |_, x| x * 10), vec![10, 20]);
+    }
+}

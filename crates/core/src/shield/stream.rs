@@ -359,6 +359,46 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_length_prefix_rejected() {
+        // A frame whose sealed-bytes length field is forged to u64::MAX
+        // must be rejected as malformed without any allocation — the
+        // same unbounded-allocation pattern class fixed in
+        // `ShieldConfig::from_bytes`.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u64.to_le_bytes()); // seq
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // sealed length
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            StreamFrame::from_bytes(&bytes),
+            Err(ShefError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_length_prefix_rejected() {
+        // A length that fits the total buffer but exceeds the bytes
+        // remaining after the seq field must also fail.
+        let (mut client, _shield) = pair();
+        let good = client.send(b"frame").to_bytes();
+        let mut bytes = good.clone();
+        // Inflate the sealed-length field past the remaining payload.
+        bytes[8..16].copy_from_slice(&(good.len() as u64).to_le_bytes());
+        assert!(matches!(
+            StreamFrame::from_bytes(&bytes),
+            Err(ShefError::Malformed(_))
+        ));
+        // Truncated sealed payload inside a well-formed envelope fails
+        // in Sealed::from_bytes, surfaced as Malformed.
+        let mut w = crate::wire::Writer::new();
+        w.put_u64(0);
+        w.put_bytes(&[0u8; 4]); // too short for IV + tag
+        assert!(matches!(
+            StreamFrame::from_bytes(&w.finish()),
+            Err(ShefError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn works_with_all_mac_engines() {
         for mac in [
             MacAlgorithm::HmacSha256,

@@ -180,6 +180,86 @@ pub fn buffer_hit_cost(len: usize) -> Cycles {
     Cycles((len as u64).div_ceil(64) * ONCHIP_BEAT_CYCLES)
 }
 
+/// Occupancy of a batch of chunk-crypto jobs fanned across `lanes`
+/// replicated engine groups (the paper's parallel seal/open datapath,
+/// §5.2.2/§6).
+///
+/// Jobs are assigned round-robin (job *i* → lane *i* mod `lanes`), which
+/// is deterministic and matches a hardware dispatcher that issues chunks
+/// to engine groups in arrival order. Two views come out:
+///
+/// * **Streaming** — the lanes genuinely overlap, so the batch costs the
+///   *makespan* (busiest lane); charge [`BatchCost::per_lane`] to
+///   per-lane ledger lanes and let the bottleneck model take the max.
+/// * **Blocking** — the consumer stalls on every chunk in order, so
+///   replication buys nothing; charge [`BatchCost::serial_latency`] to
+///   the ledger's serial term, exactly like the serial datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCost {
+    /// Steady-state occupancy per lane, in round-robin assignment order.
+    pub per_lane: Vec<Cycles>,
+    /// Sum of per-chunk availability latencies (the blocking view).
+    pub serial_latency: Cycles,
+}
+
+impl BatchCost {
+    /// The busiest lane's occupancy — what the batch costs when lanes
+    /// truly overlap.
+    #[must_use]
+    pub fn makespan(&self) -> Cycles {
+        self.per_lane.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Total crypto work across all lanes — what the same batch would
+    /// occupy on a single serial engine set.
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.per_lane.iter().copied().sum()
+    }
+
+    /// Modelled parallel speedup: serial-equivalent work over makespan.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let makespan = self.makespan().0;
+        if makespan == 0 {
+            1.0
+        } else {
+            self.total().0 as f64 / makespan as f64
+        }
+    }
+
+    /// Fraction of the lanes' aggregate capacity the batch actually
+    /// used (1.0 = perfectly balanced, →0 = one lane did everything
+    /// while the rest idled).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let makespan = self.makespan().0;
+        if makespan == 0 || self.per_lane.is_empty() {
+            1.0
+        } else {
+            self.total().0 as f64 / (makespan * self.per_lane.len() as u64) as f64
+        }
+    }
+}
+
+/// Computes the per-lane cost of processing `chunk_lens` (one entry per
+/// seal/open job, in dispatch order) across `lanes` engine groups.
+#[must_use]
+pub fn parallel_batch_cost(cfg: &EngineSetConfig, chunk_lens: &[usize], lanes: usize) -> BatchCost {
+    let lanes = lanes.max(1);
+    let mut per_lane = vec![Cycles::ZERO; lanes];
+    let mut serial_latency = Cycles::ZERO;
+    for (i, len) in chunk_lens.iter().enumerate() {
+        let cost = chunk_crypto_cost(cfg, *len);
+        per_lane[i % lanes] += cost.lane;
+        serial_latency += cost.latency;
+    }
+    BatchCost {
+        per_lane,
+        serial_latency,
+    }
+}
+
 /// Cost of hashing one Merkle-tree node block (the Bonsai-Merkle-Tree
 /// baseline of §5.2.2). Tree nodes are hashed by a dedicated HMAC
 /// engine; blocks are small (tens of bytes), so the per-block
@@ -278,5 +358,71 @@ mod tests {
         assert!(buffer_hit_cost(512) < chunk_crypto_cost(&cfg(), 512).latency);
         assert_eq!(buffer_hit_cost(64), Cycles(1));
         assert_eq!(buffer_hit_cost(65), Cycles(2));
+    }
+
+    #[test]
+    fn batch_cost_round_robin_is_deterministic() {
+        let c = cfg();
+        let lens = vec![512usize; 8];
+        let batch = parallel_batch_cost(&c, &lens, 4);
+        assert_eq!(batch.per_lane.len(), 4);
+        // 8 equal jobs over 4 lanes: every lane gets exactly 2.
+        let per_chunk = chunk_crypto_cost(&c, 512).lane;
+        for lane in &batch.per_lane {
+            assert_eq!(*lane, Cycles(per_chunk.0 * 2));
+        }
+        assert_eq!(batch.total(), Cycles(per_chunk.0 * 8));
+        assert_eq!(batch.makespan(), Cycles(per_chunk.0 * 2));
+    }
+
+    #[test]
+    fn streaming_makespan_scales_with_lanes() {
+        let c = cfg();
+        let lens = vec![4096usize; 16];
+        let one = parallel_batch_cost(&c, &lens, 1);
+        let four = parallel_batch_cost(&c, &lens, 4);
+        assert_eq!(one.total(), four.total(), "work is conserved");
+        assert_eq!(
+            four.makespan().0 * 4,
+            one.makespan().0,
+            "16 equal chunks over 4 lanes overlap perfectly"
+        );
+        assert!((four.speedup() - 4.0).abs() < 1e-9);
+        assert!((four.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_view_is_lane_count_invariant() {
+        let c = cfg();
+        let lens = vec![4096usize; 16];
+        let one = parallel_batch_cost(&c, &lens, 1);
+        let eight = parallel_batch_cost(&c, &lens, 8);
+        assert_eq!(
+            one.serial_latency, eight.serial_latency,
+            "a blocking consumer stalls per chunk; replication buys nothing"
+        );
+    }
+
+    #[test]
+    fn uneven_batches_report_imperfect_utilization() {
+        let c = cfg();
+        // 5 jobs over 4 lanes: lane 0 does double work.
+        let batch = parallel_batch_cost(&c, &[512; 5], 4);
+        assert!(batch.speedup() > 2.0 && batch.speedup() < 4.0);
+        assert!(batch.utilization() < 1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let batch = parallel_batch_cost(&cfg(), &[], 4);
+        assert_eq!(batch.makespan(), Cycles::ZERO);
+        assert_eq!(batch.serial_latency, Cycles::ZERO);
+        assert!((batch.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let batch = parallel_batch_cost(&cfg(), &[512; 3], 0);
+        assert_eq!(batch.per_lane.len(), 1);
     }
 }

@@ -115,11 +115,18 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, ShefError> {
-        let len = self.get_u64()? as usize;
-        if len > self.buf.len() {
-            return Err(ShefError::Malformed(format!("length {len} exceeds input")));
+        let len = self.get_u64()?;
+        // Bound against the *remaining* bytes before anything else: a
+        // forged 2^64 length prefix must be rejected outright, never
+        // allocated, and the check must not pass just because the claim
+        // is smaller than the total buffer.
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if len > remaining {
+            return Err(ShefError::Malformed(format!(
+                "length {len} exceeds remaining input ({remaining} bytes)"
+            )));
         }
-        Ok(self.take(len)?.to_vec())
+        Ok(self.take(len as usize)?.to_vec())
     }
 
     pub fn get_str(&mut self) -> Result<String, ShefError> {
@@ -177,6 +184,29 @@ mod tests {
         buf.push(0xAB); // claims 10 bytes follow but only 1 does
         let mut r = Reader::new(&buf);
         assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn forged_huge_length_rejected_before_allocation() {
+        // A u64::MAX length prefix must fail fast, not allocate.
+        let mut buf = u64::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.get_bytes(), Err(ShefError::Malformed(_))));
+    }
+
+    #[test]
+    fn length_bounded_by_remaining_not_total() {
+        // After consuming a field, a length claim that fits the total
+        // buffer but not the remaining bytes must still be rejected.
+        let mut w = Writer::new();
+        w.put_u64(0xDEAD);
+        w.put_u64(10); // claims 10 payload bytes...
+        let mut buf = w.finish();
+        buf.extend_from_slice(&[0u8; 4]); // ...but only 4 follow
+        let mut r = Reader::new(&buf);
+        let _ = r.get_u64().unwrap();
+        assert!(matches!(r.get_bytes(), Err(ShefError::Malformed(_))));
     }
 
     #[test]

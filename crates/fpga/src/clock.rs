@@ -176,6 +176,30 @@ impl CostLedger {
             .map(|(k, _)| k.as_str())
     }
 
+    /// Total busy cycles across every lane whose name starts with
+    /// `prefix` — e.g. one engine set's replicated sub-lanes
+    /// `shield.in[0]` + `shield.in[0].l0..lN`.
+    #[must_use]
+    pub fn group_total(&self, prefix: &str) -> Cycles {
+        self.lanes
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Busiest lane within the `prefix` group: the group's makespan
+    /// under the bottleneck model. Zero if the group is empty.
+    #[must_use]
+    pub fn group_makespan(&self, prefix: &str) -> Cycles {
+        self.lanes
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or_default()
+    }
+
     /// Merges another ledger into this one (lane-wise addition).
     pub fn merge(&mut self, other: &CostLedger) {
         self.serial += other.serial;
@@ -229,6 +253,19 @@ mod tests {
         assert_eq!(l.lane("a"), Cycles(25));
         assert_eq!(l.bottleneck(), Cycles(30));
         assert_eq!(l.bottleneck_lane(), Some("a"));
+    }
+
+    #[test]
+    fn lane_groups_aggregate_by_prefix() {
+        let mut l = CostLedger::new();
+        l.add_busy("shield.in[0].l0", Cycles(30));
+        l.add_busy("shield.in[0].l1", Cycles(50));
+        l.add_busy("shield.in[0].l2", Cycles(20));
+        l.add_busy("shield.out[1]", Cycles(999));
+        assert_eq!(l.group_total("shield.in[0]"), Cycles(100));
+        assert_eq!(l.group_makespan("shield.in[0]"), Cycles(50));
+        assert_eq!(l.group_total("shield."), Cycles(1099));
+        assert_eq!(l.group_makespan("nope"), Cycles::ZERO);
     }
 
     #[test]

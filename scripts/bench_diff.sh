@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Side-by-side diff of two BENCH_*.json reports (see `lane_scaling
+# --json` / shef_bench::write_bench_json). The reports are line-oriented
+# on purpose: one record per line, so plain awk can join them and CI
+# needs no JSON tooling.
+#
+#   scripts/bench_diff.sh BASELINE.json CURRENT.json [MAX_REGRESSION_PCT]
+#
+# With a threshold, exits 1 if any workload's modelled shield cycles
+# regressed by more than MAX_REGRESSION_PCT, or if a baseline workload
+# disappeared from the current report. The numbers are deterministic
+# model output, so any delta at all is a real code change — the
+# threshold only separates "worth failing the build" from "worth a look
+# in the table".
+set -eu
+
+usage() {
+    echo "usage: $0 BASELINE.json CURRENT.json [MAX_REGRESSION_PCT]" >&2
+    exit 2
+}
+
+[ $# -ge 2 ] && [ $# -le 3 ] || usage
+base=$1
+cur=$2
+thresh=${3:--1}
+
+for f in "$base" "$cur"; do
+    [ -r "$f" ] || { echo "bench_diff: cannot read $f" >&2; exit 2; }
+done
+
+awk -v thresh="$thresh" -v basefile="$base" '
+function field(line, name,    rest) {
+    rest = line
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+}
+FNR == 1 { filenum++ }
+/"workload"/ {
+    key = field($0, "workload") "/" field($0, "profile") "/l" field($0, "lanes")
+    if (filenum == 1) {
+        if (!(key in base_cyc)) order[++n] = key
+        base_cyc[key] = field($0, "shield_cycles")
+    } else {
+        cur_cyc[key] = field($0, "shield_cycles")
+    }
+}
+END {
+    printf "%-38s %14s %14s %10s\n", "workload/profile/lanes", "baseline", "current", "delta"
+    fail = 0
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        b = base_cyc[key] + 0
+        if (!(key in cur_cyc)) {
+            printf "%-38s %14d %14s %10s\n", key, b, "MISSING", "FAIL"
+            fail = 1
+            continue
+        }
+        c = cur_cyc[key] + 0
+        d = (b > 0) ? (c - b) * 100.0 / b : 0
+        mark = ""
+        if (thresh + 0 >= 0 && d > thresh + 0) { mark = "  << REGRESSION"; fail = 1 }
+        printf "%-38s %14d %14d %+9.2f%%%s\n", key, b, c, d, mark
+    }
+    for (key in cur_cyc)
+        if (!(key in base_cyc))
+            printf "%-38s %14s %14d %10s\n", key, "(new)", cur_cyc[key] + 0, ""
+    if (fail) {
+        printf "\nbench gate FAILED: shield cycles regressed beyond %s%% vs %s\n", thresh, basefile
+        printf "(if the slowdown is intended, regenerate the baseline:\n"
+        printf "  cargo run --release -p shef-bench --bin lane_scaling -- --json bench/baseline.json)\n"
+        exit 1
+    }
+}
+' "$base" "$cur"
