@@ -128,6 +128,50 @@ fn bitcoin_parallel_is_bit_identical() {
     assert_parallel_matches_serial("bitcoin", &|| Box::new(Bitcoin::new(10, 3)));
 }
 
+/// The fault-injection view of the same equivalence claim: for every
+/// fault class, the *detection verdict* must not depend on the lane
+/// count. A tampered chunk that is rejected by the serial datapath has
+/// to be rejected — with the same taxonomy verdict — when the batch is
+/// fanned out over 1, 2 or 4 lanes. Lane-death classes have no serial
+/// counterpart (there is no lane to kill), so those are only required
+/// to agree across the parallel lane counts.
+#[test]
+fn fault_verdicts_are_lane_count_invariant() {
+    use shef_testkit::{campaign_plan, run_plan, DataPath, FaultClass};
+
+    for class in FaultClass::ALL {
+        for seed in [3u64, 17, 29] {
+            let mut verdicts = Vec::new();
+            if !class.uses_pool() {
+                let plan = campaign_plan(seed, class, 1, DataPath::Serial);
+                let report = run_plan(&plan);
+                assert!(
+                    report.is_allowed(),
+                    "{} seed {seed} serial: {report:?}",
+                    class.as_str()
+                );
+                verdicts.push(("serial", report.verdict));
+            }
+            for lanes in [1usize, 2, 4] {
+                let plan = campaign_plan(seed, class, lanes, DataPath::Parallel { lanes });
+                let report = run_plan(&plan);
+                assert!(
+                    report.is_allowed(),
+                    "{} seed {seed} {lanes} lanes: {report:?}",
+                    class.as_str()
+                );
+                verdicts.push(("parallel", report.verdict));
+            }
+            let (_, first) = verdicts[0];
+            assert!(
+                verdicts.iter().all(|&(_, v)| v == first),
+                "{} seed {seed}: verdict drifted across lane counts: {verdicts:?}",
+                class.as_str()
+            );
+        }
+    }
+}
+
 #[test]
 fn sdp_parallel_is_bit_identical() {
     let engines = SdpEngineConfig::table2_columns()[2].1;

@@ -3,6 +3,8 @@
 use shef_crypto::CryptoError;
 use shef_fpga::FpgaError;
 
+use crate::fault::ShieldFault;
+
 /// Errors raised anywhere in the ShEF workflow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShefError {
@@ -30,6 +32,9 @@ pub enum ShefError {
     /// A party violated protocol order (e.g. loading a bitstream before
     /// attestation).
     ProtocolViolation(String),
+    /// A contained Shield datapath fault with defined degradation
+    /// semantics (lane panic after drain, poisoned engine set…).
+    Fault(ShieldFault),
 }
 
 impl core::fmt::Display for ShefError {
@@ -46,6 +51,7 @@ impl core::fmt::Display for ShefError {
             ShefError::TamperDetected(m) => write!(f, "tamper detected: {m}"),
             ShefError::UnmappedAddress(a) => write!(f, "address {a:#x} not in any shield region"),
             ShefError::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
+            ShefError::Fault(e) => write!(f, "shield fault: {e}"),
         }
     }
 }
@@ -84,6 +90,8 @@ mod tests {
         assert!(e.to_string().contains("tag"));
         let e: ShefError = FpgaError::FirmwareAuthentication.into();
         assert!(e.to_string().contains("firmware"));
+        let e = ShefError::Fault(ShieldFault::Poisoned { region: "r".into() });
+        assert!(e.to_string().contains("poisoned"));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Containment-grade fault taxonomy for the Shield datapath.
+//!
+//! The paper's threat model (§2.5, §5.2.1) gives the Shield a *detect*
+//! obligation; this module gives it a *degrade* contract. Every fault
+//! the datapath can survive is named here, with defined semantics:
+//!
+//! * **Poisoning** — once an engine set detects an integrity violation
+//!   (spoof/splice/replay) its buffered state is suspect, so the set
+//!   fail-stops: every subsequent access is rejected with
+//!   [`ShieldFault::Poisoned`] until the operator explicitly calls
+//!   `clear_poison` (which drops all buffered lines) or re-provisions
+//!   the Shield. Detection without containment would let an adversary
+//!   interleave tampered and clean traffic.
+//! * **Lane panics** — a worker lane dying mid-batch is an
+//!   infrastructure fault, not an integrity compromise. The batch is
+//!   always drained: victim seals are recomputed inline so no evicted
+//!   chunk is ever lost, the panicked job gets one bounded inline
+//!   retry, and only if the retry also dies does the operation surface
+//!   [`ShieldFault::LanePanic`]. The engine set is *not* poisoned.
+//!
+//! Faults travel as [`crate::ShefError::Fault`] so callers can match on
+//! containment state separately from detection errors.
+
+/// A contained Shield datapath fault with defined degradation
+/// semantics (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShieldFault {
+    /// A worker lane panicked while executing a chunk-crypto job and
+    /// the bounded inline retry failed too. The batch was still
+    /// drained: every victim seal landed in DRAM.
+    LanePanic {
+        /// Dispatch-order index of the job within its batch.
+        job: usize,
+    },
+    /// The engine set rejected the operation because a previously
+    /// detected integrity violation poisoned it (fail-stop
+    /// containment).
+    Poisoned {
+        /// Name of the protected region whose engine set is poisoned.
+        region: String,
+    },
+}
+
+impl core::fmt::Display for ShieldFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShieldFault::LanePanic { job } => {
+                write!(f, "worker lane panicked on batch job {job} (batch drained)")
+            }
+            ShieldFault::Poisoned { region } => write!(
+                f,
+                "engine set for region '{region}' is poisoned after an integrity violation"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ShieldFault::LanePanic { job: 3 };
+        assert!(e.to_string().contains("job 3"));
+        let e = ShieldFault::Poisoned {
+            region: "weights".into(),
+        };
+        assert!(e.to_string().contains("weights"));
+    }
+}

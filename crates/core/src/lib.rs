@@ -43,6 +43,7 @@ pub mod attest;
 pub mod bitstream;
 pub mod boot;
 pub mod error;
+pub mod fault;
 pub mod oram;
 pub mod pki;
 pub mod shield;
@@ -52,3 +53,4 @@ pub mod workflow;
 mod wire;
 
 pub use error::ShefError;
+pub use fault::ShieldFault;

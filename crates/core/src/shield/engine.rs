@@ -68,6 +68,19 @@ pub struct EngineSetStats {
     /// Modelled crypto cycles of the busiest lane, accumulated batch by
     /// batch — the parallel makespan actually charged to the ledger.
     pub lane_cycles_max: u64,
+    /// Worker-lane panics observed by the batch datapath, including
+    /// panics repeated on the bounded inline retry.
+    pub lane_panics: u64,
+    /// Panicked crypto jobs that succeeded on the bounded inline retry
+    /// (transient faults absorbed without surfacing an error).
+    pub recovered_retries: u64,
+    /// Victim seals recomputed inline after a job failed its retry —
+    /// the guaranteed-drain path that keeps evicted chunks from being
+    /// lost to a dead lane.
+    pub drained_seals: u64,
+    /// Operations rejected because the engine set was poisoned by a
+    /// previously detected integrity violation.
+    pub contained_rejects: u64,
 }
 
 impl EngineSetStats {
@@ -114,6 +127,9 @@ pub struct EngineSet {
     counters: HashMap<u32, u64>,
     merkle: Option<MerkleTree>,
     stats: EngineSetStats,
+    /// Fail-stop containment: set on the first detected integrity
+    /// violation; every access is rejected until explicitly cleared.
+    poisoned: bool,
 }
 
 impl core::fmt::Debug for EngineSet {
@@ -170,6 +186,7 @@ impl EngineSet {
             counters: HashMap::new(),
             merkle,
             stats: EngineSetStats::default(),
+            poisoned: false,
         }
     }
 
@@ -204,6 +221,44 @@ impl EngineSet {
         if let Some(tree) = &mut self.merkle {
             tree.clear_cache();
         }
+    }
+
+    /// Whether the engine set is poisoned: a detected integrity
+    /// violation has fail-stopped the datapath.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Clears containment state after a detected integrity violation
+    /// and re-opens the datapath. Every buffered line is dropped — its
+    /// provenance is suspect once the DRAM image has been tampered with
+    /// — but freshness state (counters / tree) is retained, so
+    /// untampered DRAM contents still verify on refill.
+    pub fn clear_poison(&mut self) {
+        self.poisoned = false;
+        self.lines.clear();
+        self.lru.clear();
+    }
+
+    /// Records a detected integrity violation and poisons the set:
+    /// detection without containment would let tampered and clean
+    /// traffic interleave.
+    fn note_integrity_failure(&mut self) {
+        self.stats.integrity_failures += 1;
+        self.poisoned = true;
+    }
+
+    /// Entry gate for every datapath operation: a poisoned set rejects
+    /// all traffic until [`EngineSet::clear_poison`].
+    fn check_operational(&mut self) -> Result<(), ShefError> {
+        if self.poisoned {
+            self.stats.contained_rejects += 1;
+            return Err(ShefError::Fault(crate::fault::ShieldFault::Poisoned {
+                region: self.region.name.clone(),
+            }));
+        }
+        Ok(())
     }
 
     fn chunk_size(&self) -> usize {
@@ -248,7 +303,7 @@ impl EngineSet {
             Ok(epoch) => Ok(epoch),
             Err(e) => {
                 if matches!(e, ShefError::IntegrityViolation(_)) {
-                    self.stats.integrity_failures += 1;
+                    self.note_integrity_failure();
                 }
                 Err(e)
             }
@@ -276,7 +331,7 @@ impl EngineSet {
             Ok(epoch) => Ok(epoch),
             Err(e) => {
                 if matches!(e, ShefError::IntegrityViolation(_)) {
-                    self.stats.integrity_failures += 1;
+                    self.note_integrity_failure();
                 }
                 Err(e)
             }
@@ -399,7 +454,7 @@ impl EngineSet {
                 &tag,
             )
             .inspect_err(|_| {
-                self.stats.integrity_failures += 1;
+                self.note_integrity_failure();
             })?;
             Line {
                 data: plaintext,
@@ -427,6 +482,7 @@ impl EngineSet {
         mode: AccessMode,
     ) -> Result<Vec<u8>, ShefError> {
         debug_assert!(self.region.range.contains_span(addr, len));
+        self.check_operational()?;
         let mut out = Vec::with_capacity(len);
         let mut cur = addr;
         let end = addr + len as u64;
@@ -461,6 +517,7 @@ impl EngineSet {
         mode: AccessMode,
     ) -> Result<(), ShefError> {
         debug_assert!(self.region.range.contains_span(addr, data.len()));
+        self.check_operational()?;
         let mut cur = addr;
         let end = addr + data.len() as u64;
         let mut src = 0usize;
@@ -495,6 +552,7 @@ impl EngineSet {
         dram: &mut Dram,
         ledger: &mut CostLedger,
     ) -> Result<(), ShefError> {
+        self.check_operational()?;
         let indices: Vec<u32> = self.lru.iter().copied().collect();
         for idx in indices {
             self.writeback_line(shell, dram, ledger, idx, AccessMode::Streaming)?;
@@ -672,7 +730,7 @@ impl EngineSet {
         ) {
             Ok(pt) => pt,
             Err(e) => {
-                self.stats.integrity_failures += 1;
+                self.note_integrity_failure();
                 self.lines.remove(&idx);
                 if let Some(p) = self.lru.iter().position(|&i| i == idx) {
                     self.lru.remove(p);
@@ -689,16 +747,26 @@ impl EngineSet {
         Ok(())
     }
 
-    /// Fans the staged jobs across the pool's lanes.
-    fn run_crypto_jobs(&self, pool: &WorkerPool, jobs: Vec<BatchJob>) -> Vec<BatchJobResult> {
+    /// Fans the staged jobs across the pool's lanes with draining
+    /// degradation semantics: a panicked job gets one inline retry, and
+    /// a job that dies anyway is absorbed — seals are recomputed on the
+    /// controller's own engines (the evicted plaintext exists only in
+    /// the staged job, so it must never be lost), while opens report a
+    /// contained [`crate::fault::ShieldFault::LanePanic`] in dispatch
+    /// order. Jobs travel as `Arc`s so the retry copies are refcount
+    /// bumps, not chunk memcpys.
+    fn run_crypto_jobs(&mut self, pool: &WorkerPool, jobs: Vec<BatchJob>) -> Vec<BatchJobResult> {
         let key = self.key.clone();
         let nonce = self.nonce;
         let name = self.region.name.clone();
-        pool.run(jobs, move |_, job| match job {
+        let jobs: Vec<std::sync::Arc<BatchJob>> =
+            jobs.into_iter().map(std::sync::Arc::new).collect();
+        let fallback = jobs.clone();
+        let outcome = pool.try_run(jobs, move |_, job| match &*job {
             BatchJob::Seal { idx, epoch, data } => {
-                let (ciphertext, tag) = seal_chunk(&key, nonce, &name, idx, epoch, &data);
+                let (ciphertext, tag) = seal_chunk(&key, nonce, &name, *idx, *epoch, data);
                 BatchJobResult::Sealed {
-                    idx,
+                    idx: *idx,
                     ciphertext,
                     tag,
                 }
@@ -709,10 +777,43 @@ impl EngineSet {
                 ciphertext,
                 tag,
             } => BatchJobResult::Opened {
-                idx,
-                plaintext: open_chunk(&key, nonce, &name, idx, epoch, &ciphertext, &tag),
+                idx: *idx,
+                plaintext: open_chunk(&key, nonce, &name, *idx, *epoch, ciphertext, tag),
             },
-        })
+        });
+        self.stats.lane_panics += outcome.lane_panics;
+        self.stats.recovered_retries += outcome.recovered;
+        let mut results = Vec::with_capacity(outcome.results.len());
+        for (i, slot) in outcome.results.into_iter().enumerate() {
+            match slot {
+                Some(r) => results.push(r),
+                None => match &*fallback[i] {
+                    BatchJob::Seal { idx, epoch, data } => {
+                        let (ciphertext, tag) = seal_chunk(
+                            &self.key,
+                            self.nonce,
+                            &self.region.name,
+                            *idx,
+                            *epoch,
+                            data,
+                        );
+                        self.stats.drained_seals += 1;
+                        results.push(BatchJobResult::Sealed {
+                            idx: *idx,
+                            ciphertext,
+                            tag,
+                        });
+                    }
+                    BatchJob::Open { idx, .. } => results.push(BatchJobResult::Opened {
+                        idx: *idx,
+                        plaintext: Err(ShefError::Fault(crate::fault::ShieldFault::LanePanic {
+                            job: i,
+                        })),
+                    }),
+                },
+            }
+        }
+        results
     }
 
     /// Charges one batch's crypto to the ledger under the deterministic
@@ -826,7 +927,12 @@ impl EngineSet {
                     }
                     Err(e) => {
                         if first_err.is_none() {
-                            self.stats.integrity_failures += 1;
+                            // A contained lane fault is an infrastructure
+                            // failure, not evidence of tampering: it
+                            // surfaces but does not poison the set.
+                            if !matches!(e, ShefError::Fault(_)) {
+                                self.note_integrity_failure();
+                            }
                             first_err = Some(e);
                         }
                     }
@@ -873,6 +979,7 @@ impl EngineSet {
         pool: &WorkerPool,
     ) -> Result<Vec<u8>, ShefError> {
         debug_assert!(self.region.range.contains_span(addr, len));
+        self.check_operational()?;
         enum Segment {
             Ready(Vec<u8>),
             Fill {
@@ -945,6 +1052,7 @@ impl EngineSet {
         pool: &WorkerPool,
     ) -> Result<(), ShefError> {
         debug_assert!(self.region.range.contains_span(addr, data.len()));
+        self.check_operational()?;
         let mut plan = BatchPlan::default();
         let mut walk_error = None;
         let mut cur = addr;
@@ -1018,6 +1126,7 @@ impl EngineSet {
         ledger: &mut CostLedger,
         pool: &WorkerPool,
     ) -> Result<(), ShefError> {
+        self.check_operational()?;
         let mut plan = BatchPlan::default();
         let mut walk_error = None;
         let indices: Vec<u32> = self.lru.iter().copied().collect();
@@ -1893,8 +2002,28 @@ mod tests {
         };
         assert!(msg.contains("chunk 2"), "earliest chunk wins: {msg}");
         assert_eq!(es.stats().integrity_failures, 1);
-        // Chunks verified before the failure stay resident; later
-        // placeholders are dropped, so a clean prefix read still works.
+        // The detection poisons the set: follow-up traffic is rejected
+        // until the containment state is explicitly cleared.
+        assert!(es.poisoned());
+        let rejected = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                1024,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            rejected,
+            ShefError::Fault(crate::fault::ShieldFault::Poisoned { .. })
+        ));
+        assert_eq!(es.stats().contained_rejects, 1);
+        // Clearing the poison drops buffered lines; the untampered
+        // prefix then refills and verifies from DRAM as usual.
+        es.clear_poison();
         let got = es
             .read_chunks(
                 &mut shell,
@@ -1908,6 +2037,183 @@ mod tests {
             .unwrap();
         assert_eq!(got, vec![7u8; 1024]);
         assert_eq!(es.stats().integrity_failures, 1);
+    }
+
+    #[test]
+    fn serial_integrity_failure_poisons_until_cleared() {
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 4096, false, false);
+        provision(&es, &mut dram, &vec![7u8; 8192]);
+        let addr = 0x1000 + 3 * 512;
+        let mut byte = dram.tamper_read(addr, 1);
+        byte[0] ^= 0x80;
+        dram.tamper_write(addr, &byte);
+        let err = es
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                addr,
+                512,
+                AccessMode::Streaming,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ShefError::IntegrityViolation(_)));
+        assert!(es.poisoned());
+        // Reads, writes and flushes are all fail-stopped.
+        let r = es.read(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            16,
+            AccessMode::Streaming,
+        );
+        assert!(matches!(r, Err(ShefError::Fault(_))));
+        let w = es.write(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &[1, 2, 3],
+            AccessMode::Streaming,
+        );
+        assert!(matches!(w, Err(ShefError::Fault(_))));
+        let fl = es.flush(&mut shell, &mut dram, &mut ledger);
+        assert!(matches!(fl, Err(ShefError::Fault(_))));
+        assert_eq!(es.stats().contained_rejects, 3);
+        es.clear_poison();
+        let got = es
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        assert_eq!(got, vec![7u8; 512]);
+    }
+
+    #[test]
+    fn one_shot_lane_panic_recovers_transparently() {
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 4096, false, false);
+        provision(&es, &mut dram, &vec![9u8; 8192]);
+        let pool = WorkerPool::new(4);
+        pool.arm_lane_panic(0);
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                4096,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got, vec![9u8; 4096]);
+        let stats = es.stats();
+        assert_eq!(stats.lane_panics, 1);
+        assert_eq!(stats.recovered_retries, 1);
+        assert_eq!(stats.integrity_failures, 0);
+        assert!(!es.poisoned(), "a lane fault is not an integrity event");
+    }
+
+    #[test]
+    fn sticky_lane_panic_drains_batch_and_surfaces_fault() {
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 4096, false, false);
+        provision(&es, &mut dram, &vec![9u8; 8192]);
+        let pool = WorkerPool::new(4);
+        // Job 0 of the batch (the open of chunk 0) dies on its lane AND
+        // on the inline retry: the op must fail with a contained fault,
+        // not deadlock or cascade panics into sibling lanes.
+        pool.arm_lane_panic_sticky(0);
+        let err = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                4096,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ShefError::Fault(crate::fault::ShieldFault::LanePanic { job: 0 })
+        ));
+        let stats = es.stats();
+        assert_eq!(stats.lane_panics, 2, "attempt + retry");
+        assert_eq!(stats.integrity_failures, 0);
+        assert!(!es.poisoned());
+        // The set stays live: the same read succeeds once the fault is
+        // gone (the sticky arm targeted an already-consumed job index).
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                4096,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got, vec![9u8; 4096]);
+    }
+
+    #[test]
+    fn sticky_panic_on_victim_seal_still_lands_the_writeback() {
+        // One-line buffer: writing chunk 0 then touching chunk 1 evicts
+        // chunk 0, staging its seal as batch job 0. Killing that job
+        // (attempt + retry) must not lose the evicted plaintext — the
+        // drain fallback recomputes the seal inline.
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 512, false, false);
+        provision(&es, &mut dram, &vec![0u8; 8192]);
+        let pool = WorkerPool::new(4);
+        let payload = vec![0xABu8; 512];
+        es.write_chunks(
+            &mut shell,
+            &mut dram,
+            &mut ledger,
+            0x1000,
+            &payload,
+            AccessMode::Streaming,
+            &pool,
+        )
+        .unwrap();
+        pool.arm_lane_panic_sticky(0);
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000 + 512,
+                512,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got, vec![0u8; 512]);
+        let stats = es.stats();
+        assert_eq!(stats.drained_seals, 1);
+        assert_eq!(stats.lane_panics, 2);
+        pool.disarm_lane_panic();
+        // The sealed chunk 0 round-trips from DRAM with the new bytes.
+        let back = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                512,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(back, payload);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use config::{EngineSetConfig, MemRange, RegionConfig, RegisterInterfaceConfi
 pub use engine::{AccessMode, EngineSet, EngineSetStats};
 pub use keys::{DataEncryptionKey, KeyStorage, LoadKey};
 pub use merkle::{MerkleConfig, MerkleStats, MerkleTree};
-pub use pool::{PoolStats, WorkerPool};
+pub use pool::{PoolStats, TryRunOutcome, WorkerPool};
 pub use regif::RegisterInterface;
 pub use stream::{StreamDirection, StreamEndpoint, StreamFrame};
 pub use timing::BatchCost;
@@ -346,6 +346,25 @@ impl Shield {
     #[must_use]
     pub fn area(&self) -> area::Resources {
         area::shield_area(&self.config)
+    }
+
+    /// Names of regions whose engine sets are poisoned (fail-stop
+    /// containment after a detected integrity violation).
+    #[must_use]
+    pub fn poisoned_regions(&self) -> Vec<String> {
+        self.engine_sets
+            .iter()
+            .filter(|s| s.poisoned())
+            .map(|s| s.region().name.clone())
+            .collect()
+    }
+
+    /// Clears containment state on every engine set, dropping all
+    /// buffered lines (see [`engine::EngineSet::clear_poison`]).
+    pub fn clear_poison(&mut self) {
+        for set in &mut self.engine_sets {
+            set.clear_poison();
+        }
     }
 }
 

@@ -16,8 +16,8 @@
 //! bit-reproducible run to run. Only the observability counters in
 //! [`PoolStats`] reflect real scheduling.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -32,6 +32,31 @@ struct PoolShared {
     jobs_per_lane: Vec<AtomicU64>,
     /// Batches dispatched through [`WorkerPool::run`].
     batches: AtomicU64,
+    /// Jobs dispatched through [`WorkerPool::try_run`] since pool
+    /// creation — the deterministic submission clock that fault arming
+    /// is addressed against.
+    submitted: AtomicU64,
+    /// Absolute submission index at which the next armed fault fires
+    /// (`u64::MAX` = disarmed).
+    panic_at: AtomicU64,
+    /// Whether the armed fault survives the inline retry (a sticky
+    /// "dead lane" rather than a one-shot transient).
+    panic_sticky: AtomicBool,
+}
+
+impl PoolShared {
+    /// Fires an armed injected fault if `submission` is its target.
+    /// One-shot faults disarm before panicking so the bounded inline
+    /// retry (which replays the same submission index) succeeds;
+    /// sticky faults stay armed and kill the retry too.
+    fn maybe_injected_panic(&self, submission: u64) {
+        if self.panic_at.load(Ordering::Relaxed) == submission {
+            if !self.panic_sticky.load(Ordering::Relaxed) {
+                self.panic_at.store(u64::MAX, Ordering::Relaxed);
+            }
+            panic!("injected shield lane fault (job #{submission})");
+        }
+    }
 }
 
 /// Observability counters for a pool. These reflect *real* thread
@@ -47,6 +72,20 @@ pub struct PoolStats {
     pub queue_high_water: usize,
     /// Batches dispatched through [`WorkerPool::run`].
     pub batches: u64,
+}
+
+/// Outcome of a draining batch dispatch ([`WorkerPool::try_run`]).
+#[derive(Debug)]
+pub struct TryRunOutcome<R> {
+    /// Per-job results in submission order; `None` where the job
+    /// panicked on both its lane attempt and the inline retry.
+    pub results: Vec<Option<R>>,
+    /// Submission-order indices of jobs with no result, ascending.
+    pub failed: Vec<usize>,
+    /// Total panics observed across first attempts and retries.
+    pub lane_panics: u64,
+    /// Panicked jobs that succeeded on the bounded inline retry.
+    pub recovered: u64,
 }
 
 /// A fixed-size pool of crypto worker lanes.
@@ -81,6 +120,9 @@ impl WorkerPool {
             queue_high_water: AtomicUsize::new(0),
             jobs_per_lane: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
             batches: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            panic_at: AtomicU64::new(u64::MAX),
+            panic_sticky: AtomicBool::new(false),
         });
         if lanes == 1 {
             return WorkerPool {
@@ -102,8 +144,13 @@ impl WorkerPool {
                         // Take the next job while holding the queue lock,
                         // then release it before running the job so other
                         // lanes keep draining.
+                        // A lane that dies while holding this lock
+                        // poisons the mutex; the receiver itself is
+                        // still coherent, so surviving lanes recover it
+                        // with `into_inner` instead of cascading the
+                        // panic across the whole pool.
                         let job = {
-                            let guard = rx.lock().expect("pool queue lock");
+                            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
                             guard.recv()
                         };
                         match job {
@@ -210,6 +257,147 @@ impl WorkerPool {
         }
         out
     }
+
+    /// Like [`WorkerPool::run`], but never unwinds into the caller:
+    /// every job is drained, each panicked job gets exactly one inline
+    /// retry on the caller thread, and jobs that fail the retry too are
+    /// reported as empty slots in the outcome instead of re-raising.
+    ///
+    /// This is the degradation-aware entry point the batch datapath
+    /// uses: a dying lane must not abandon sibling jobs (victim seals
+    /// in particular exist only in the staged batch).
+    ///
+    /// Items are cloned up front so panicked jobs can be replayed;
+    /// callers on hot paths should make cloning cheap (e.g. `Arc`).
+    pub fn try_run<T, R, F>(&self, items: Vec<T>, f: F) -> TryRunOutcome<R>
+    where
+        T: Clone + Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let n = items.len();
+        let retry_items = items.clone();
+        let f = Arc::new(f);
+        let mut outcome = TryRunOutcome {
+            results: Vec::with_capacity(n),
+            failed: Vec::new(),
+            lane_panics: 0,
+            recovered: 0,
+        };
+        // (item index, submission index) of first-attempt panics.
+        let mut panicked: Vec<(usize, u64)> = Vec::new();
+        if let Some(sender) = self.sender.as_ref().filter(|_| n > 1) {
+            let (done_tx, done_rx) = mpsc::channel();
+            for (i, item) in items.into_iter().enumerate() {
+                let queued = self.shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
+                self.shared
+                    .queue_high_water
+                    .fetch_max(queued, Ordering::Relaxed);
+                let s = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                let f = Arc::clone(&f);
+                let shared = Arc::clone(&self.shared);
+                let done_tx = done_tx.clone();
+                let job: Job = Box::new(move || {
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.maybe_injected_panic(s);
+                        f(i, item)
+                    }));
+                    let _ = done_tx.send((i, s, attempt));
+                });
+                sender
+                    .send(job)
+                    .expect("pool lanes alive while handle held");
+            }
+            drop(done_tx);
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (i, s, attempt) = done_rx.recv().expect("every job reports exactly once");
+                match attempt {
+                    Ok(r) => slots[i] = Some(r),
+                    Err(_) => {
+                        outcome.lane_panics += 1;
+                        panicked.push((i, s));
+                    }
+                }
+            }
+            outcome.results = slots;
+        } else {
+            for (i, item) in items.into_iter().enumerate() {
+                let s = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&self.shared);
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.maybe_injected_panic(s);
+                    f(i, item)
+                }));
+                match attempt {
+                    Ok(r) => outcome.results.push(Some(r)),
+                    Err(_) => {
+                        outcome.lane_panics += 1;
+                        outcome.results.push(None);
+                        panicked.push((i, s));
+                    }
+                }
+            }
+        }
+        // Bounded retry: replay each panicked job once, inline on the
+        // caller thread (deterministic, no lane involved). Replaying
+        // the same submission index means a one-shot armed fault has
+        // already disarmed itself, while a sticky fault fires again.
+        panicked.sort_unstable();
+        for (i, s) in panicked {
+            let item = retry_items[i].clone();
+            let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.shared.maybe_injected_panic(s);
+                f(i, item)
+            }));
+            match retry {
+                Ok(r) => {
+                    outcome.results[i] = Some(r);
+                    outcome.recovered += 1;
+                }
+                Err(_) => {
+                    outcome.lane_panics += 1;
+                    outcome.failed.push(i);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Arms a one-shot injected lane fault: the `nth` job (0-based)
+    /// dispatched through [`WorkerPool::try_run`] from now on panics on
+    /// its first attempt; the bounded inline retry then succeeds. Test
+    /// hook for transient-fault campaigns — [`WorkerPool::run`] jobs
+    /// are not affected.
+    pub fn arm_lane_panic(&self, nth: u64) {
+        self.shared.panic_sticky.store(false, Ordering::Relaxed);
+        let at = self
+            .shared
+            .submitted
+            .load(Ordering::Relaxed)
+            .wrapping_add(nth);
+        self.shared.panic_at.store(at, Ordering::Relaxed);
+    }
+
+    /// Arms a sticky injected lane fault: like
+    /// [`WorkerPool::arm_lane_panic`] but the retry panics too,
+    /// modelling a persistently dead lane for that job.
+    pub fn arm_lane_panic_sticky(&self, nth: u64) {
+        self.shared.panic_sticky.store(true, Ordering::Relaxed);
+        let at = self
+            .shared
+            .submitted
+            .load(Ordering::Relaxed)
+            .wrapping_add(nth);
+        self.shared.panic_at.store(at, Ordering::Relaxed);
+    }
+
+    /// Disarms any armed injected lane fault.
+    pub fn disarm_lane_panic(&self) {
+        self.shared.panic_at.store(u64::MAX, Ordering::Relaxed);
+        self.shared.panic_sticky.store(false, Ordering::Relaxed);
+    }
 }
 
 impl Drop for WorkerPool {
@@ -288,6 +476,72 @@ mod tests {
             let out = pool.run((0..17u64).collect(), move |_, x| x + round);
             assert_eq!(out, (round..17 + round).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_batches() {
+        let pool = WorkerPool::new(4);
+        let out = pool.try_run((0..64u64).collect(), |_, x| x * 2);
+        assert_eq!(out.failed, Vec::<usize>::new());
+        assert_eq!(out.lane_panics, 0);
+        assert_eq!(out.recovered, 0);
+        let values: Vec<u64> = out.results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(values, (0..64u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_shot_armed_panic_recovers_on_retry() {
+        for lanes in [1usize, 4] {
+            let pool = WorkerPool::new(lanes);
+            pool.arm_lane_panic(3);
+            let out = pool.try_run((0..8u64).collect(), |_, x| x + 1);
+            assert_eq!(out.failed, Vec::<usize>::new(), "{lanes} lanes");
+            assert_eq!(out.lane_panics, 1, "{lanes} lanes");
+            assert_eq!(out.recovered, 1, "{lanes} lanes");
+            assert!(out.results.iter().all(Option::is_some));
+            // The pool is clean afterwards: no armed fault left behind.
+            let again = pool.try_run((0..8u64).collect(), |_, x| x + 1);
+            assert_eq!(again.lane_panics, 0, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn sticky_armed_panic_drains_siblings_and_reports_the_slot() {
+        for lanes in [1usize, 4] {
+            let pool = WorkerPool::new(lanes);
+            pool.arm_lane_panic_sticky(2);
+            let out = pool.try_run((0..8u64).collect(), |_, x| x + 1);
+            assert_eq!(out.failed, vec![2], "{lanes} lanes");
+            assert_eq!(out.lane_panics, 2, "attempt + retry, {lanes} lanes");
+            assert_eq!(out.recovered, 0, "{lanes} lanes");
+            for (i, slot) in out.results.iter().enumerate() {
+                if i == 2 {
+                    assert!(slot.is_none());
+                } else {
+                    assert_eq!(*slot, Some(i as u64 + 1), "sibling jobs drained");
+                }
+            }
+            pool.disarm_lane_panic();
+            let again = pool.try_run((0..8u64).collect(), |_, x| x + 1);
+            assert_eq!(again.lane_panics, 0, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn real_panic_in_try_run_never_unwinds_into_caller() {
+        let pool = WorkerPool::new(2);
+        let out = pool.try_run((0..8u64).collect(), |_, x| {
+            assert!(x != 5, "boom");
+            x
+        });
+        // A genuine (non-injected) panic repeats on retry: same input,
+        // same deterministic crash.
+        assert_eq!(out.failed, vec![5]);
+        assert_eq!(out.lane_panics, 2);
+        assert_eq!(out.results[5], None);
+        assert_eq!(out.results[4], Some(4));
+        // The pool (and its queue mutex) survive for the next batch.
+        assert_eq!(pool.run(vec![1u64, 2], |_, x| x * 10), vec![10, 20]);
     }
 
     #[test]

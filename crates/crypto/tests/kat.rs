@@ -1,0 +1,224 @@
+//! Known-answer tests pinning the from-scratch crypto stack to the
+//! published standards: AES-GCM (NIST SP 800-38D / McGrew–Viega test
+//! vectors), HMAC-SHA-256 (RFC 4231), HKDF-SHA-256 (RFC 5869) and
+//! Ed25519 (RFC 8032 §7.1). These complement the round-trip and
+//! property tests: a self-consistent but non-standard implementation
+//! passes those and fails here.
+
+use shef_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use shef_crypto::gcm::AesGcm;
+use shef_crypto::{from_hex, to_hex};
+
+fn h(s: &str) -> Vec<u8> {
+    from_hex(s).expect("valid hex in test vector")
+}
+
+fn arr<const N: usize>(s: &str) -> [u8; N] {
+    h(s).try_into().expect("vector length matches")
+}
+
+// ---------------------------------------------------------------------
+// AES-GCM — McGrew & Viega "The Galois/Counter Mode of Operation",
+// appendix B (the same vectors NIST SP 800-38D validation uses).
+// ---------------------------------------------------------------------
+
+#[test]
+fn aes128_gcm_test_case_1_empty() {
+    let gcm = AesGcm::new(&[0u8; 16]);
+    let (ct, tag) = gcm.seal(&[0u8; 12], &[], &[]);
+    assert!(ct.is_empty());
+    assert_eq!(to_hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    assert_eq!(
+        gcm.open(&[0u8; 12], &[], &[], &tag).unwrap(),
+        Vec::<u8>::new()
+    );
+}
+
+#[test]
+fn aes128_gcm_test_case_2_single_block() {
+    let gcm = AesGcm::new(&[0u8; 16]);
+    let (ct, tag) = gcm.seal(&[0u8; 12], &[], &[0u8; 16]);
+    assert_eq!(to_hex(&ct), "0388dace60b6a392f328c2b971b2fe78");
+    assert_eq!(to_hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+#[test]
+fn aes128_gcm_test_case_3_four_blocks() {
+    let gcm = AesGcm::new(&h("feffe9928665731c6d6a8f9467308308"));
+    let iv: [u8; 12] = arr("cafebabefacedbaddecaf888");
+    let pt = h(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+    );
+    let (ct, tag) = gcm.seal(&iv, &[], &pt);
+    assert_eq!(
+        to_hex(&ct),
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+         21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+    );
+    assert_eq!(to_hex(&tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+#[test]
+fn aes128_gcm_test_case_4_with_aad() {
+    let gcm = AesGcm::new(&h("feffe9928665731c6d6a8f9467308308"));
+    let iv: [u8; 12] = arr("cafebabefacedbaddecaf888");
+    let aad = h("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    let pt = h(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+    );
+    let (ct, tag) = gcm.seal(&iv, &aad, &pt);
+    assert_eq!(
+        to_hex(&ct),
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+         21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+    );
+    assert_eq!(to_hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+    assert_eq!(gcm.open(&iv, &aad, &ct, &tag).unwrap(), pt);
+    // A flipped AAD bit must fail authentication.
+    let mut bad_aad = aad.clone();
+    bad_aad[0] ^= 1;
+    assert!(gcm.open(&iv, &bad_aad, &ct, &tag).is_err());
+}
+
+#[test]
+fn aes256_gcm_test_cases_13_and_14() {
+    let gcm = AesGcm::new(&[0u8; 32]);
+    let (_, tag) = gcm.seal(&[0u8; 12], &[], &[]);
+    assert_eq!(to_hex(&tag), "530f8afbc74536b9a963b4f1c4cb738b");
+    let (ct, tag) = gcm.seal(&[0u8; 12], &[], &[0u8; 16]);
+    assert_eq!(to_hex(&ct), "cea7403d4d606b6e074ec5d3baf39d18");
+    assert_eq!(to_hex(&tag), "d0d1c8a799996bf0265b98b5d48ab919");
+}
+
+// ---------------------------------------------------------------------
+// HMAC-SHA-256 — RFC 4231
+// ---------------------------------------------------------------------
+
+#[test]
+fn hmac_sha256_rfc4231_case_1() {
+    let tag = shef_crypto::hmac::hmac_sha256(&[0x0bu8; 20], b"Hi There");
+    assert_eq!(
+        to_hex(&tag),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    );
+}
+
+#[test]
+fn hmac_sha256_rfc4231_case_2() {
+    let tag = shef_crypto::hmac::hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+    assert_eq!(
+        to_hex(&tag),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    );
+}
+
+#[test]
+fn hmac_sha256_rfc4231_case_3_long_data() {
+    let tag = shef_crypto::hmac::hmac_sha256(&[0xaau8; 20], &[0xddu8; 50]);
+    assert_eq!(
+        to_hex(&tag),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    );
+}
+
+#[test]
+fn hmac_sha256_rfc4231_case_6_oversized_key() {
+    // A 131-byte key exercises the hash-the-key-first path.
+    let tag = shef_crypto::hmac::hmac_sha256(
+        &[0xaau8; 131],
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+    );
+    assert_eq!(
+        to_hex(&tag),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    );
+}
+
+// ---------------------------------------------------------------------
+// HKDF-SHA-256 — RFC 5869
+// ---------------------------------------------------------------------
+
+#[test]
+fn hkdf_rfc5869_test_case_1() {
+    let ikm = [0x0bu8; 22];
+    let salt = h("000102030405060708090a0b0c");
+    let info = h("f0f1f2f3f4f5f6f7f8f9");
+    let prk = shef_crypto::hkdf::extract(&salt, &ikm);
+    assert_eq!(
+        to_hex(&prk),
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    );
+    let okm = shef_crypto::hkdf::expand(&prk, &info, 42);
+    assert_eq!(
+        to_hex(&okm),
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+         34007208d5b887185865"
+    );
+    assert_eq!(shef_crypto::hkdf::derive(&salt, &ikm, &info, 42), okm);
+}
+
+#[test]
+fn hkdf_rfc5869_test_case_3_empty_salt_and_info() {
+    let ikm = [0x0bu8; 22];
+    let prk = shef_crypto::hkdf::extract(&[], &ikm);
+    let okm = shef_crypto::hkdf::expand(&prk, &[], 42);
+    assert_eq!(
+        to_hex(&okm),
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+         9d201395faa4b61a96c8"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Ed25519 — RFC 8032 §7.1
+// ---------------------------------------------------------------------
+
+#[test]
+fn ed25519_rfc8032_test_1_empty_message() {
+    let seed: [u8; 32] = arr("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+    let sk = SigningKey::from_seed(&seed);
+    let vk = sk.verifying_key();
+    assert_eq!(
+        to_hex(&vk.0),
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+    );
+    let sig = sk.sign(&[]);
+    assert_eq!(
+        to_hex(&sig.0),
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+         5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+    );
+    vk.verify(&[], &sig).expect("RFC 8032 signature verifies");
+}
+
+#[test]
+fn ed25519_rfc8032_test_2_one_byte_message() {
+    let seed: [u8; 32] = arr("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+    let sk = SigningKey::from_seed(&seed);
+    let vk = sk.verifying_key();
+    assert_eq!(
+        to_hex(&vk.0),
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+    );
+    let msg = [0x72u8];
+    let sig = sk.sign(&msg);
+    assert_eq!(
+        to_hex(&sig.0),
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+         085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+    );
+    vk.verify(&msg, &sig).expect("RFC 8032 signature verifies");
+    // The signature must not verify for a different message or key.
+    assert!(vk.verify(&[0x73], &sig).is_err());
+    let other = VerifyingKey(arr(
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+    ));
+    assert!(other.verify(&msg, &sig).is_err());
+    // And a corrupted signature must be rejected, not misparsed.
+    let mut bad = sig.0;
+    bad[0] ^= 1;
+    let bad_sig = Signature(bad);
+    assert!(vk.verify(&msg, &bad_sig).is_err());
+}

@@ -62,6 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(matches!(outcome, Err(ShefError::IntegrityViolation(_))));
     println!("  -> DETECTED: {}", outcome.unwrap_err());
     instance.board.shell.clear_interposer();
+    // Detection poisons the engine set: further traffic is rejected
+    // until the operator acknowledges containment.
+    assert_eq!(instance.shield.poisoned_regions(), vec!["secrets"]);
+    instance.shield.clear_poison();
+    println!("  -> engine poisoned and re-armed (containment acknowledged)");
 
     println!("attack 2: stale ciphertext re-injected after an update (replay)");
     let snapshot = ReplaySnapshot::capture(&instance.board.device.dram, 0, 512, tag_base, 16);
@@ -89,6 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(matches!(outcome, Err(ShefError::IntegrityViolation(_))));
     println!("  -> DETECTED: freshness counter mismatch");
+    instance.shield.clear_poison();
 
     println!("attack 3: JTAG readback probe at runtime");
     let outcome = jtag_probe(&mut instance.board.device.ports);
