@@ -16,6 +16,7 @@ use shef_fpga::clock::{ClockDomain, CostLedger, Cycles};
 use shef_fpga::dram::Dram;
 use shef_fpga::host::HostCpu;
 use shef_fpga::shell::Shell;
+use shef_telemetry::{Report, Telemetry};
 
 use crate::{Accelerator, CryptoProfile};
 
@@ -33,6 +34,8 @@ pub struct RunReport {
     pub outputs_verified: bool,
     /// Engine-set statistics (shielded runs only).
     pub engine_stats: Vec<(String, EngineSetStats)>,
+    /// Telemetry snapshot of the run (empty for baseline runs).
+    pub telemetry: Report,
 }
 
 impl RunReport {
@@ -40,6 +43,7 @@ impl RunReport {
         ledger: CostLedger,
         verified: bool,
         stats: Vec<(String, EngineSetStats)>,
+        telemetry: Report,
     ) -> Self {
         let cycles = ledger.bottleneck();
         RunReport {
@@ -48,7 +52,38 @@ impl RunReport {
             ledger,
             outputs_verified: verified,
             engine_stats: stats,
+            telemetry,
         }
+    }
+
+    /// Human-readable run-report summary: the end-to-end numbers, the
+    /// bottleneck lane, then the telemetry breakdown (phase spans and
+    /// non-zero counters) from [`shef_telemetry::Report::summary_table`].
+    #[must_use]
+    pub fn run_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycles {} ({:.2} us at {} MHz), outputs {}",
+            self.cycles.0,
+            self.micros,
+            ClockDomain::F1_DEFAULT.freq_hz() / 1_000_000,
+            if self.outputs_verified {
+                "verified"
+            } else {
+                "MISMATCH"
+            },
+        );
+        if let Some(lane) = self.ledger.bottleneck_lane() {
+            let _ = writeln!(
+                out,
+                "bottleneck lane: {lane} ({})",
+                self.ledger.lane(lane).0
+            );
+        }
+        out.push_str(&self.telemetry.summary_table());
+        out
     }
 }
 
@@ -68,7 +103,24 @@ pub fn run_shielded(
     profile: &CryptoProfile,
     seed: u64,
 ) -> Result<RunReport, ShefError> {
-    run_shielded_impl(accel, profile, seed, None)
+    run_shielded_impl(accel, profile, seed, None, None)
+}
+
+/// [`run_shielded`], recording into a caller-supplied telemetry
+/// registry so several runs (e.g. a profile sweep) accumulate into one
+/// report. The per-run snapshot in [`RunReport::telemetry`] still
+/// reflects the shared registry at the end of this run.
+///
+/// # Errors
+///
+/// Propagates configuration, integrity and bus errors.
+pub fn run_shielded_with_telemetry(
+    accel: &mut dyn Accelerator,
+    profile: &CryptoProfile,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<RunReport, ShefError> {
+    run_shielded_impl(accel, profile, seed, None, Some(telemetry))
 }
 
 /// [`run_shielded`] over the parallel multi-lane datapath: the kernel's
@@ -85,7 +137,23 @@ pub fn run_shielded_parallel(
     seed: u64,
     pool: &WorkerPool,
 ) -> Result<RunReport, ShefError> {
-    run_shielded_impl(accel, profile, seed, Some(pool))
+    run_shielded_impl(accel, profile, seed, Some(pool), None)
+}
+
+/// [`run_shielded_parallel`] with a caller-supplied telemetry registry
+/// (see [`run_shielded_with_telemetry`]).
+///
+/// # Errors
+///
+/// Propagates configuration, integrity and bus errors.
+pub fn run_shielded_parallel_with_telemetry(
+    accel: &mut dyn Accelerator,
+    profile: &CryptoProfile,
+    seed: u64,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Result<RunReport, ShefError> {
+    run_shielded_impl(accel, profile, seed, Some(pool), Some(telemetry))
 }
 
 fn run_shielded_impl(
@@ -93,11 +161,22 @@ fn run_shielded_impl(
     profile: &CryptoProfile,
     seed: u64,
     pool: Option<&WorkerPool>,
+    telemetry: Option<&Telemetry>,
 ) -> Result<RunReport, ShefError> {
     let config = accel.shield_config(profile);
     config.validate()?;
     let keypair = EciesKeyPair::from_seed(format!("harness.shield.{seed}").as_bytes());
     let mut shield = Shield::new(config, keypair)?;
+    if let Some(telemetry) = telemetry {
+        shield.attach_telemetry(telemetry);
+    }
+    // Everything downstream records into the shield's registry — the
+    // caller's when one was attached, the shield's private one otherwise
+    // — so RunReport::telemetry always carries the full datapath.
+    let run_telemetry = shield.telemetry().clone();
+    if let Some(pool) = pool {
+        pool.attach_telemetry(&run_telemetry);
+    }
     let dek = DataEncryptionKey::from_bytes(
         shef_crypto::drbg::HmacDrbg::from_seed(format!("harness.dek.{seed}").as_bytes())
             .generate_array::<32>(),
@@ -107,6 +186,7 @@ fn run_shielded_impl(
 
     let mut shell = Shell::new();
     let mut dram = Dram::f1_default();
+    dram.attach_telemetry(&run_telemetry);
     let mut host = HostCpu::new();
     let mut ledger = CostLedger::new();
 
@@ -206,8 +286,9 @@ fn run_shielded_impl(
     }
 
     let stats = shield.engine_stats();
+    let snapshot = shield.telemetry().report();
     ledger.merge(dram.ledger());
-    Ok(RunReport::from_ledger(ledger, verified, stats))
+    Ok(RunReport::from_ledger(ledger, verified, stats, snapshot))
 }
 
 /// Runs `accel` with no Shield: plaintext DMA and direct Shell/DRAM
@@ -283,7 +364,12 @@ pub fn run_baseline(accel: &mut dyn Accelerator) -> Result<RunReport, ShefError>
     }
 
     ledger.merge(dram.ledger());
-    Ok(RunReport::from_ledger(ledger, verified, Vec::new()))
+    Ok(RunReport::from_ledger(
+        ledger,
+        verified,
+        Vec::new(),
+        Report::default(),
+    ))
 }
 
 /// Measures the shielded/baseline ratio for one profile.
@@ -324,6 +410,39 @@ pub fn overhead_parallel(
     let pool = WorkerPool::new(lanes);
     let mut shielded_accel = make_accel();
     let shielded = run_shielded_parallel(shielded_accel.as_mut(), profile, 42, &pool)?;
+    Ok(OverheadReport {
+        baseline_cycles: baseline.cycles,
+        shielded_cycles: shielded.cycles,
+        normalized: shielded.cycles.0 as f64 / baseline.cycles.0.max(1) as f64,
+        baseline_verified: baseline.outputs_verified,
+        shielded_verified: shielded.outputs_verified,
+    })
+}
+
+/// [`overhead_parallel`] recording the shielded run into a
+/// caller-supplied telemetry registry, so a lane-scaling sweep can
+/// accumulate every configuration into one exported report.
+///
+/// # Errors
+///
+/// Propagates run errors from either side.
+pub fn overhead_parallel_with_telemetry(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+    lanes: usize,
+    telemetry: &Telemetry,
+) -> Result<OverheadReport, ShefError> {
+    let mut base = make_accel();
+    let baseline = run_baseline(base.as_mut())?;
+    let pool = WorkerPool::new(lanes);
+    let mut shielded_accel = make_accel();
+    let shielded = run_shielded_parallel_with_telemetry(
+        shielded_accel.as_mut(),
+        profile,
+        42,
+        &pool,
+        telemetry,
+    )?;
     Ok(OverheadReport {
         baseline_cycles: baseline.cycles,
         shielded_cycles: shielded.cycles,
@@ -395,6 +514,49 @@ mod tests {
             .engine_stats
             .iter()
             .any(|(_, s)| s.parallel_batches > 0 && s.parallel_speedup() > 1.0));
+    }
+
+    #[test]
+    fn run_report_snapshots_full_datapath_telemetry() {
+        let telemetry = shef_telemetry::Telemetry::new();
+        let pool = WorkerPool::new(2);
+        let mut accel = VectorAdd::new(8 * 1024, 1);
+        let report = run_shielded_parallel_with_telemetry(
+            &mut accel,
+            &CryptoProfile::AES128_4X,
+            7,
+            &pool,
+            &telemetry,
+        )
+        .unwrap();
+        let counter = |name: &str| {
+            report
+                .telemetry
+                .counters
+                .iter()
+                .find(|(n, _)| n.as_str() == name)
+                .map(|(_, v)| *v)
+        };
+        // Engine, pool and DRAM layers all land in one registry.
+        assert!(counter("shield.engine.bytes_read").unwrap() > 0);
+        assert!(counter("shield.pool.batches").unwrap() > 0);
+        assert!(counter("fpga.dram.bytes_written").unwrap() > 0);
+        // Phase spans were traced on the deterministic clock.
+        assert!(report.telemetry.scopes.contains_key("shield.engine.crypto"));
+        // The snapshot is of the caller's registry.
+        assert_eq!(telemetry.report().to_json(), report.telemetry.to_json(),);
+        // The summary renders the headline numbers.
+        let table = report.run_report();
+        assert!(table.contains("outputs verified"));
+        assert!(table.contains("shield.engine.walk"));
+    }
+
+    #[test]
+    fn baseline_report_has_empty_telemetry() {
+        let mut accel = VectorAdd::new(8 * 1024, 1);
+        let report = run_baseline(&mut accel).unwrap();
+        assert!(report.telemetry.counters.is_empty());
+        assert!(report.telemetry.spans.is_empty());
     }
 
     #[test]

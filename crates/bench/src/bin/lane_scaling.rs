@@ -9,15 +9,21 @@
 //!
 //! ```text
 //! cargo run --release -p shef-bench --bin lane_scaling -- \
-//!     --lanes 1,2,4,8 --json BENCH_ci.json
+//!     --lanes 1,2,4,8 --json BENCH_ci.json --telemetry lanes.tele.json
 //! ```
+//!
+//! `--telemetry PATH` accumulates every shielded run of the sweep into
+//! one shared [`shef_telemetry::Telemetry`] registry and writes the
+//! line-JSON report (schema `shef-telemetry/v1`) to PATH — the artifact
+//! the `telemetry-report` CI job checks with `scripts/check_report.sh`.
 
 use shef_accel::dnnweaver::DnnWeaver;
-use shef_accel::harness::overhead_parallel;
+use shef_accel::harness::{overhead_parallel, overhead_parallel_with_telemetry};
 use shef_accel::matmul::MatMul;
 use shef_accel::vecadd::VectorAdd;
 use shef_accel::{Accelerator, CryptoProfile};
 use shef_bench::{header, write_bench_json, LaneRecord};
+use shef_telemetry::Telemetry;
 
 struct Workload {
     name: &'static str,
@@ -52,9 +58,10 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-fn parse_args() -> (Vec<usize>, Option<String>) {
+fn parse_args() -> (Vec<usize>, Option<String>, Option<String>) {
     let mut lanes = vec![1usize, 2, 4, 8];
     let mut json = None;
+    let mut telemetry = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,14 +78,18 @@ fn parse_args() -> (Vec<usize>, Option<String>) {
                 assert!(!lanes.is_empty(), "--lanes list is empty");
             }
             "--json" => json = Some(args.next().expect("--json needs a path")),
-            other => panic!("unknown argument {other} (expected --lanes LIST or --json PATH)"),
+            "--telemetry" => telemetry = Some(args.next().expect("--telemetry needs a path")),
+            other => panic!(
+                "unknown argument {other} (expected --lanes LIST, --json PATH or --telemetry PATH)"
+            ),
         }
     }
-    (lanes, json)
+    (lanes, json, telemetry)
 }
 
 fn main() {
-    let (lane_counts, json_path) = parse_args();
+    let (lane_counts, json_path, telemetry_path) = parse_args();
+    let telemetry = Telemetry::new();
     let mut records = Vec::new();
 
     header("Lane scaling: parallel Shield datapath (modelled cycles, deterministic)");
@@ -86,8 +97,12 @@ fn main() {
         println!("{} [{}]", w.name, w.profile_name);
         let mut one_lane_cycles = None;
         for &lanes in &lane_counts {
-            let report = overhead_parallel(&w.make, &w.profile, lanes)
-                .unwrap_or_else(|e| panic!("{} at {lanes} lanes failed: {e}", w.name));
+            let report = if telemetry_path.is_some() {
+                overhead_parallel_with_telemetry(&w.make, &w.profile, lanes, &telemetry)
+            } else {
+                overhead_parallel(&w.make, &w.profile, lanes)
+            }
+            .unwrap_or_else(|e| panic!("{} at {lanes} lanes failed: {e}", w.name));
             assert!(
                 report.baseline_verified && report.shielded_verified,
                 "{} at {lanes} lanes produced wrong outputs",
@@ -117,5 +132,11 @@ fn main() {
     if let Some(path) = json_path {
         write_bench_json(&path, &records).expect("failed to write bench JSON");
         println!("wrote {} records to {path}", records.len());
+    }
+    if let Some(path) = telemetry_path {
+        let report = telemetry.report();
+        std::fs::write(&path, report.to_json()).expect("failed to write telemetry report");
+        println!("{}", report.summary_table());
+        println!("wrote telemetry report to {path}");
     }
 }

@@ -7,6 +7,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use shef_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
 use shef_crypto::authenc::AuthEncKey;
 use shef_fpga::clock::CostLedger;
 use shef_fpga::dram::Dram;
@@ -86,24 +88,99 @@ pub struct EngineSetStats {
 impl EngineSetStats {
     /// Modelled speedup of the parallel datapath over a serial engine
     /// set: serial-equivalent work divided by the accumulated makespan.
-    /// 1.0 when no batch work has been dispatched.
+    /// Clamped to 1.0 when no batch work has been dispatched (or the
+    /// ratio is otherwise undefined) so callers can feed it straight
+    /// into reports without NaN/inf guards.
     #[must_use]
     pub fn parallel_speedup(&self) -> f64 {
         if self.lane_cycles_max == 0 {
-            1.0
+            return 1.0;
+        }
+        let speedup = self.lane_cycles_total as f64 / self.lane_cycles_max as f64;
+        if speedup.is_finite() {
+            speedup
         } else {
-            self.lane_cycles_total as f64 / self.lane_cycles_max as f64
+            1.0
         }
     }
 
     /// Fraction of the lanes' aggregate capacity the batch work kept
-    /// busy (1.0 = perfectly balanced across lanes).
+    /// busy (1.0 = perfectly balanced across lanes). Clamped to 1.0
+    /// when no batch work has been dispatched. The denominator is
+    /// computed in f64: `lane_cycles_max * lanes` as u64 could overflow
+    /// on long campaigns (panic in debug builds, a wrapped — and thus
+    /// wildly wrong — utilization in release).
     #[must_use]
     pub fn lane_utilization(&self) -> f64 {
         if self.lane_cycles_max == 0 || self.lanes == 0 {
-            1.0
+            return 1.0;
+        }
+        let util =
+            self.lane_cycles_total as f64 / (self.lane_cycles_max as f64 * self.lanes as f64);
+        if util.is_finite() {
+            util
         } else {
-            self.lane_cycles_total as f64 / (self.lane_cycles_max * self.lanes) as f64
+            1.0
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for one engine set.
+///
+/// Bound to a private detached registry at construction, so the hot
+/// path never branches on "is telemetry attached"; [`EngineSet::attach_telemetry`]
+/// rebinds the handles onto a shared registry. Counter names aggregate
+/// across regions (every set increments the same `shield.engine.*`
+/// instruments), and every value mirrored here is model-derived, so
+/// reports stay byte-identical run to run.
+#[derive(Debug, Clone)]
+struct EngineTelemetry {
+    registry: Telemetry,
+    hits: Counter,
+    misses: Counter,
+    writebacks: Counter,
+    evictions: Counter,
+    integrity_failures: Counter,
+    zero_fills: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    contained_rejects: Counter,
+    lane_panics: Counter,
+    recovered_retries: Counter,
+    drained_seals: Counter,
+    parallel_batches: Counter,
+    parallel_jobs: Counter,
+    lanes: Gauge,
+    queue_depth_hwm: Gauge,
+    batch_jobs: Histogram,
+}
+
+impl EngineTelemetry {
+    /// Job-count buckets for the per-batch histogram: small batches
+    /// dominate register-file traffic, 256 chunks is already a full
+    /// working-set sweep.
+    const BATCH_JOB_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 256];
+
+    fn bind(t: &Telemetry) -> Self {
+        EngineTelemetry {
+            registry: t.clone(),
+            hits: t.counter("shield.engine.hits"),
+            misses: t.counter("shield.engine.misses"),
+            writebacks: t.counter("shield.engine.writebacks"),
+            evictions: t.counter("shield.engine.evictions"),
+            integrity_failures: t.counter("shield.engine.integrity_failures"),
+            zero_fills: t.counter("shield.engine.zero_fills"),
+            bytes_read: t.counter("shield.engine.bytes_read"),
+            bytes_written: t.counter("shield.engine.bytes_written"),
+            contained_rejects: t.counter("shield.engine.contained_rejects"),
+            lane_panics: t.counter("shield.engine.lane_panics"),
+            recovered_retries: t.counter("shield.engine.recovered_retries"),
+            drained_seals: t.counter("shield.engine.drained_seals"),
+            parallel_batches: t.counter("shield.engine.parallel_batches"),
+            parallel_jobs: t.counter("shield.engine.parallel_jobs"),
+            lanes: t.gauge("shield.engine.lanes"),
+            queue_depth_hwm: t.gauge("shield.engine.queue_depth_hwm"),
+            batch_jobs: t.histogram("shield.engine.batch_jobs", &Self::BATCH_JOB_BOUNDS),
         }
     }
 }
@@ -127,6 +204,7 @@ pub struct EngineSet {
     counters: HashMap<u32, u64>,
     merkle: Option<MerkleTree>,
     stats: EngineSetStats,
+    tele: EngineTelemetry,
     /// Fail-stop containment: set on the first detected integrity
     /// violation; every access is rejected until explicitly cleared.
     poisoned: bool,
@@ -186,8 +264,17 @@ impl EngineSet {
             counters: HashMap::new(),
             merkle,
             stats: EngineSetStats::default(),
+            tele: EngineTelemetry::bind(&Telemetry::new()),
             poisoned: false,
         }
+    }
+
+    /// Rebinds this set's `shield.engine.*` instruments onto a shared
+    /// registry; until called, the set reports into a private detached
+    /// registry. Counters mirrored after this point aggregate with
+    /// every other set attached to `telemetry`.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = EngineTelemetry::bind(telemetry);
     }
 
     /// The protected region.
@@ -246,6 +333,7 @@ impl EngineSet {
     /// traffic interleave.
     fn note_integrity_failure(&mut self) {
         self.stats.integrity_failures += 1;
+        self.tele.integrity_failures.inc();
         self.poisoned = true;
     }
 
@@ -254,6 +342,7 @@ impl EngineSet {
     fn check_operational(&mut self) -> Result<(), ShefError> {
         if self.poisoned {
             self.stats.contained_rejects += 1;
+            self.tele.contained_rejects.inc();
             return Err(ShefError::Fault(crate::fault::ShieldFault::Poisoned {
                 region: self.region.name.clone(),
             }));
@@ -365,6 +454,7 @@ impl EngineSet {
                 .lru
                 .pop_front()
                 .expect("lines non-empty implies lru non-empty");
+            self.tele.evictions.inc();
             self.writeback_line(shell, dram, ledger, victim, mode)?;
             self.lines.remove(&victim);
         }
@@ -401,6 +491,7 @@ impl EngineSet {
         shell.mem_write(dram, self.chunk_addr(idx), &ciphertext)?;
         shell.mem_write(dram, self.tag_addr(idx), &tag)?;
         self.stats.writebacks += 1;
+        self.tele.writebacks.inc();
         if let Some(l) = self.lines.get_mut(&idx) {
             l.dirty = false;
         }
@@ -420,6 +511,7 @@ impl EngineSet {
     ) -> Result<(), ShefError> {
         if self.lines.contains_key(&idx) {
             self.stats.hits += 1;
+            self.tele.hits.inc();
             self.touch_lru(idx);
             return Ok(());
         }
@@ -427,12 +519,14 @@ impl EngineSet {
         let len = self.chunk_len(idx);
         let line = if zero_fill {
             self.stats.zero_fills += 1;
+            self.tele.zero_fills.inc();
             Line {
                 data: vec![0u8; len],
                 dirty: false,
             }
         } else {
             self.stats.misses += 1;
+            self.tele.misses.inc();
             ledger.add_busy(
                 PORT_READ_LANE,
                 Cycles(((len + CHUNK_TAG_LEN) as u64).div_ceil(SHELL_PORT_BYTES_PER_CYCLE)),
@@ -498,6 +592,7 @@ impl EngineSet {
             cur += take as u64;
         }
         self.stats.bytes_read += len as u64;
+        self.tele.bytes_read.add(len as u64);
         Ok(out)
     }
 
@@ -538,6 +633,7 @@ impl EngineSet {
             src += take;
         }
         self.stats.bytes_written += data.len() as u64;
+        self.tele.bytes_written.add(data.len() as u64);
         Ok(())
     }
 
@@ -600,6 +696,7 @@ impl EngineSet {
         dirty: bool,
     ) -> Result<(), ShefError> {
         self.stats.misses += 1;
+        self.tele.misses.inc();
         let len = self.chunk_len(idx);
         // Hazard A: this chunk was evicted earlier in the batch and its
         // seal has not landed — land it now so the fill reads fresh bytes.
@@ -649,6 +746,7 @@ impl EngineSet {
                 .lru
                 .pop_front()
                 .expect("lines non-empty implies lru non-empty");
+            self.tele.evictions.inc();
             if plan.pending_open.contains_key(&victim) {
                 if self.lines.get(&victim).is_some_and(|l| l.dirty) {
                     // Hazard B: the line carries pending write bytes but
@@ -700,6 +798,7 @@ impl EngineSet {
         shell.mem_write(dram, self.chunk_addr(idx), &ciphertext)?;
         shell.mem_write(dram, self.tag_addr(idx), &tag)?;
         self.stats.writebacks += 1;
+        self.tele.writebacks.inc();
         Ok(())
     }
 
@@ -783,6 +882,8 @@ impl EngineSet {
         });
         self.stats.lane_panics += outcome.lane_panics;
         self.stats.recovered_retries += outcome.recovered;
+        self.tele.lane_panics.add(outcome.lane_panics);
+        self.tele.recovered_retries.add(outcome.recovered);
         let mut results = Vec::with_capacity(outcome.results.len());
         for (i, slot) in outcome.results.into_iter().enumerate() {
             match slot {
@@ -798,6 +899,7 @@ impl EngineSet {
                             data,
                         );
                         self.stats.drained_seals += 1;
+                        self.tele.drained_seals.inc();
                         results.push(BatchJobResult::Sealed {
                             idx: *idx,
                             ciphertext,
@@ -853,6 +955,11 @@ impl EngineSet {
         self.stats.queue_depth_hwm = self.stats.queue_depth_hwm.max(lens.len() as u64);
         self.stats.lane_cycles_total += batch.total().0;
         self.stats.lane_cycles_max += batch.makespan().0;
+        self.tele.parallel_batches.inc();
+        self.tele.parallel_jobs.add(lens.len() as u64);
+        self.tele.lanes.set(lanes as u64);
+        self.tele.queue_depth_hwm.record_max(lens.len() as u64);
+        self.tele.batch_jobs.observe(lens.len() as u64);
     }
 
     /// Phase 2+3 of a batch operation: runs the staged crypto on the
@@ -877,8 +984,19 @@ impl EngineSet {
             install,
             ..
         } = plan;
+        let crypto_start = ledger.total_busy().0;
         let live: Vec<BatchJob> = jobs.into_iter().flatten().collect();
         let results = self.run_crypto_jobs(pool, live);
+        // Charge the batch's crypto before the landing loop so the
+        // crypto/landing span boundary falls between the two phases.
+        // The ledger is purely additive, so charge order is irrelevant
+        // to every total; only the logical clock's intermediate reading
+        // moves.
+        self.charge_crypto_batch(ledger, &lens, mode, pool.lanes());
+        let landing_start = ledger.total_busy().0;
+        self.tele
+            .registry
+            .trace("shield.engine.crypto", crypto_start, landing_start);
         let mut first_err: Option<ShefError> = None;
         let mut opened: HashMap<u32, Vec<u8>> = HashMap::new();
         for result in results {
@@ -901,7 +1019,10 @@ impl EngineSet {
                         .mem_write(dram, self.chunk_addr(idx), &ciphertext)
                         .and_then(|()| shell.mem_write(dram, self.tag_addr(idx), &tag));
                     match landed {
-                        Ok(()) => self.stats.writebacks += 1,
+                        Ok(()) => {
+                            self.stats.writebacks += 1;
+                            self.tele.writebacks.inc();
+                        }
                         Err(e) => {
                             if first_err.is_none() {
                                 first_err = Some(e.into());
@@ -939,7 +1060,11 @@ impl EngineSet {
                 },
             }
         }
-        self.charge_crypto_batch(ledger, &lens, mode, pool.lanes());
+        self.tele.registry.trace(
+            "shield.engine.landing",
+            landing_start,
+            ledger.total_busy().0,
+        );
         if first_err.is_some() || walk_error.is_some() {
             // Drop placeholder lines whose fill never installed.
             for idx in install {
@@ -988,6 +1113,7 @@ impl EngineSet {
                 take: usize,
             },
         }
+        let walk_start = ledger.total_busy().0;
         let mut plan = BatchPlan::default();
         let mut segments: Vec<Segment> = Vec::new();
         let mut walk_error = None;
@@ -1000,6 +1126,7 @@ impl EngineSet {
             let take = ((end - cur) as usize).min(self.chunk_len(idx) - offset);
             let step = if self.lines.contains_key(&idx) {
                 self.stats.hits += 1;
+                self.tele.hits.inc();
                 self.touch_lru(idx);
                 let line = &self.lines[&idx];
                 segments.push(Segment::Ready(line.data[offset..offset + take].to_vec()));
@@ -1018,6 +1145,9 @@ impl EngineSet {
             ledger.add_busy(ACCEL_PORT_READ_LANE, buffer_hit_cost(take));
             cur += take as u64;
         }
+        self.tele
+            .registry
+            .trace("shield.engine.walk", walk_start, ledger.total_busy().0);
         let opened = self.batch_execute(shell, dram, ledger, mode, pool, plan, walk_error)?;
         let mut out = Vec::with_capacity(len);
         for seg in segments {
@@ -1030,6 +1160,7 @@ impl EngineSet {
             }
         }
         self.stats.bytes_read += len as u64;
+        self.tele.bytes_read.add(len as u64);
         Ok(out)
     }
 
@@ -1053,6 +1184,7 @@ impl EngineSet {
     ) -> Result<(), ShefError> {
         debug_assert!(self.region.range.contains_span(addr, data.len()));
         self.check_operational()?;
+        let walk_start = ledger.total_busy().0;
         let mut plan = BatchPlan::default();
         let mut walk_error = None;
         let mut cur = addr;
@@ -1068,6 +1200,7 @@ impl EngineSet {
                 && (full_overwrite || self.region.engine_set.zero_fill_writes);
             let step = if self.lines.contains_key(&idx) {
                 self.stats.hits += 1;
+                self.tele.hits.inc();
                 self.touch_lru(idx);
                 let line = self.lines.get_mut(&idx).expect("resident");
                 line.data[offset..offset + take].copy_from_slice(&data[src..src + take]);
@@ -1077,6 +1210,7 @@ impl EngineSet {
                 self.batch_evict(shell, dram, ledger, mode, &mut plan)
                     .map(|()| {
                         self.stats.zero_fills += 1;
+                        self.tele.zero_fills.inc();
                         let len = self.chunk_len(idx);
                         let mut buf = vec![0u8; len];
                         buf[offset..offset + take].copy_from_slice(&data[src..src + take]);
@@ -1107,8 +1241,12 @@ impl EngineSet {
             cur += take as u64;
             src += take;
         }
+        self.tele
+            .registry
+            .trace("shield.engine.walk", walk_start, ledger.total_busy().0);
         self.batch_execute(shell, dram, ledger, mode, pool, plan, walk_error)?;
         self.stats.bytes_written += data.len() as u64;
+        self.tele.bytes_written.add(data.len() as u64);
         Ok(())
     }
 
@@ -1127,6 +1265,7 @@ impl EngineSet {
         pool: &WorkerPool,
     ) -> Result<(), ShefError> {
         self.check_operational()?;
+        let walk_start = ledger.total_busy().0;
         let mut plan = BatchPlan::default();
         let mut walk_error = None;
         let indices: Vec<u32> = self.lru.iter().copied().collect();
@@ -1148,6 +1287,9 @@ impl EngineSet {
                 }
             }
         }
+        self.tele
+            .registry
+            .trace("shield.engine.walk", walk_start, ledger.total_busy().0);
         self.batch_execute(
             shell,
             dram,
@@ -1278,6 +1420,113 @@ mod tests {
             dram.tamper_write(es.chunk_addr(i as u32), &ct);
             dram.tamper_write(es.tag_addr(i as u32), &tag);
         }
+    }
+
+    #[test]
+    fn stats_ratios_defined_with_no_parallel_batches() {
+        // Regression: fresh stats (no batch dispatched) must clamp to
+        // 1.0, never NaN/inf, so reports can print them unguarded.
+        let stats = EngineSetStats::default();
+        assert_eq!(stats.parallel_speedup(), 1.0);
+        assert_eq!(stats.lane_utilization(), 1.0);
+        // lanes recorded but no cycles (e.g. all-hit batches).
+        let stats = EngineSetStats {
+            lanes: 4,
+            ..EngineSetStats::default()
+        };
+        assert_eq!(stats.parallel_speedup(), 1.0);
+        assert_eq!(stats.lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn stats_ratios_survive_huge_cycle_counts() {
+        // Regression: lane_cycles_max * lanes used to be a u64 multiply
+        // that overflowed on long campaigns (panic in debug builds).
+        let stats = EngineSetStats {
+            lanes: 8,
+            lane_cycles_max: u64::MAX / 2,
+            lane_cycles_total: u64::MAX - 1,
+            ..EngineSetStats::default()
+        };
+        let speedup = stats.parallel_speedup();
+        let util = stats.lane_utilization();
+        assert!(speedup.is_finite());
+        assert!(util.is_finite());
+        assert!((speedup - 2.0).abs() < 1e-9);
+        assert!((util - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_mirrors_engine_counters_and_phases() {
+        let t = Telemetry::new();
+        let pool = WorkerPool::new(2);
+        let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 1024, true, false);
+        es.attach_telemetry(&t);
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        provision(&es, &mut dram, &data);
+        let got = es
+            .read_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1000,
+                8192,
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+        assert_eq!(got, data);
+        let r = t.report();
+        assert_eq!(r.counters["shield.engine.misses"], 16);
+        assert_eq!(r.counters["shield.engine.bytes_read"], 8192);
+        // 16 fills through a 2-line buffer: 14 clean-fill cancellations
+        // count as evictions in the batch walk.
+        assert!(r.counters["shield.engine.evictions"] > 0);
+        assert_eq!(r.counters["shield.engine.parallel_batches"], 1);
+        assert_eq!(r.counters["shield.engine.parallel_jobs"], 16);
+        assert_eq!(r.gauges["shield.engine.lanes"], 2);
+        // All three batch phases traced, on a strictly ordered clock.
+        for scope in [
+            "shield.engine.walk",
+            "shield.engine.crypto",
+            "shield.engine.landing",
+        ] {
+            assert_eq!(r.scopes[scope].count, 1, "{scope}");
+        }
+        assert!(r.scopes["shield.engine.walk"].total_cycles > 0);
+        assert!(r.scopes["shield.engine.crypto"].total_cycles > 0);
+        let walk = &r.spans[0];
+        assert_eq!(walk.scope, "shield.engine.walk");
+        assert!(walk.end_cycles > walk.start_cycles);
+    }
+
+    #[test]
+    fn detached_telemetry_reports_are_byte_identical() {
+        // Two engine sets running the same trace against their own
+        // private registries must produce identical JSON reports — the
+        // engine-level half of the determinism guarantee.
+        let run = || {
+            let t = Telemetry::new();
+            let pool = WorkerPool::new(4);
+            let (mut es, mut shell, mut dram, mut ledger, _) = setup(512, 2048, true, false);
+            es.attach_telemetry(&t);
+            let data: Vec<u8> = (0..8192u32).map(|i| (i * 13 % 256) as u8).collect();
+            provision(&es, &mut dram, &data);
+            es.write_chunks(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0x1200,
+                &[7u8; 3000],
+                AccessMode::Streaming,
+                &pool,
+            )
+            .unwrap();
+            es.flush_parallel(&mut shell, &mut dram, &mut ledger, &pool)
+                .unwrap();
+            t.report().to_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

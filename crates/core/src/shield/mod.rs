@@ -30,6 +30,7 @@ use shef_crypto::ecies::{EciesKeyPair, EciesPublicKey};
 use shef_fpga::clock::CostLedger;
 use shef_fpga::dram::Dram;
 use shef_fpga::shell::Shell;
+use shef_telemetry::Telemetry;
 
 use crate::ShefError;
 pub use config::{EngineSetConfig, MemRange, RegionConfig, RegisterInterfaceConfig, ShieldConfig};
@@ -48,6 +49,7 @@ pub struct Shield {
     keys: KeyStorage,
     engine_sets: Vec<EngineSet>,
     regif: RegisterInterface,
+    telemetry: Telemetry,
 }
 
 impl core::fmt::Debug for Shield {
@@ -75,7 +77,27 @@ impl Shield {
             keys: KeyStorage::new(shield_keypair),
             engine_sets: Vec::new(),
             regif,
+            telemetry: Telemetry::new(),
         })
+    }
+
+    /// The Shield's telemetry registry. Every engine set built by
+    /// [`Shield::provision_load_key`] reports its `shield.engine.*`
+    /// instruments here; snapshot it with
+    /// [`shef_telemetry::Telemetry::report`] for a run report.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the Shield's registry with a shared one (e.g. the
+    /// harness's per-run registry, also attached to the DRAM model and
+    /// worker pool) and rebinds every live engine set onto it.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        for set in &mut self.engine_sets {
+            set.attach_telemetry(telemetry);
+        }
     }
 
     /// The compiled configuration.
@@ -113,13 +135,15 @@ impl Shield {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                EngineSet::new(
+                let mut set = EngineSet::new(
                     r.clone(),
                     i,
                     self.config.tag_base(i),
                     self.config.merkle_base(i),
                     &dek,
-                )
+                );
+                set.attach_telemetry(&self.telemetry);
+                set
             })
             .collect();
         self.regif.set_key(dek.register_key());
@@ -520,6 +544,63 @@ mod tests {
                 AccessMode::Streaming
             )
             .is_err());
+    }
+
+    #[test]
+    fn shield_telemetry_aggregates_across_regions() {
+        let (mut shield, mut shell, mut dram, mut ledger, dek) = shield();
+        let input: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let region = shield.config().regions[0].clone();
+        let enc = client::encrypt_region(&dek, &region, &input, 0);
+        dram.tamper_write(0, &enc.ciphertext);
+        dram.tamper_write(shield.config().tag_base(0), &enc.tags);
+        let data = shield
+            .read(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                0,
+                4096,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        shield
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                1 << 20,
+                &data,
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        shield.flush(&mut shell, &mut dram, &mut ledger).unwrap();
+        let report = shield.telemetry().report();
+        // Both regions report into the one registry: input-region reads
+        // and output-region writes land on the same counters.
+        assert_eq!(report.counters["shield.engine.bytes_read"], 4096);
+        assert_eq!(report.counters["shield.engine.bytes_written"], 4096);
+        assert!(report.counters["shield.engine.misses"] >= 8);
+        assert!(report.counters["shield.engine.writebacks"] >= 8);
+    }
+
+    #[test]
+    fn attach_telemetry_rebinds_live_engine_sets() {
+        let (mut shield, mut shell, mut dram, mut ledger, _) = shield();
+        let shared = Telemetry::new();
+        shield.attach_telemetry(&shared);
+        assert!(shield.telemetry().same_registry(&shared));
+        shield
+            .write(
+                &mut shell,
+                &mut dram,
+                &mut ledger,
+                1 << 20,
+                &[9u8; 512],
+                AccessMode::Streaming,
+            )
+            .unwrap();
+        assert_eq!(shared.report().counters["shield.engine.bytes_written"], 512);
     }
 
     #[test]

@@ -17,10 +17,59 @@
 //! [`PoolStats`] reflect real scheduling.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::thread;
 
+use shef_telemetry::{Counter, Telemetry};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pre-resolved telemetry handles for the pool.
+///
+/// Everything here is *model-derived* and therefore deterministic: jobs
+/// and batches count submissions, the per-lane dispatch counters follow
+/// the same round-robin assignment as the timing model
+/// ([`super::timing::parallel_batch_cost`]), and panic/retry counters
+/// are addressed by submission index. Real-scheduling quantities
+/// (`jobs_per_lane`, `queue_high_water`) stay in [`PoolStats`] and are
+/// deliberately NOT mirrored — they would break the byte-identical
+/// report guarantee.
+#[derive(Debug)]
+struct PoolTelemetry {
+    batches: Counter,
+    jobs: Counter,
+    lane_panics: Counter,
+    recovered_retries: Counter,
+    failed_jobs: Counter,
+    lane_dispatch: Vec<Counter>,
+}
+
+impl PoolTelemetry {
+    fn bind(t: &Telemetry, lanes: usize) -> Self {
+        PoolTelemetry {
+            batches: t.counter("shield.pool.batches"),
+            jobs: t.counter("shield.pool.jobs"),
+            lane_panics: t.counter("shield.pool.lane_panics"),
+            recovered_retries: t.counter("shield.pool.recovered_retries"),
+            failed_jobs: t.counter("shield.pool.failed_jobs"),
+            lane_dispatch: (0..lanes)
+                .map(|k| t.counter(&format!("shield.pool.lane{k}.dispatched")))
+                .collect(),
+        }
+    }
+
+    /// Records one batch of `n` jobs under the deterministic
+    /// round-robin dispatch model (job `i` goes to lane `i % lanes`).
+    fn note_batch(&self, n: usize) {
+        self.batches.inc();
+        self.jobs.add(n as u64);
+        let lanes = self.lane_dispatch.len();
+        for (k, counter) in self.lane_dispatch.iter().enumerate() {
+            let share = n / lanes + usize::from(k < n % lanes);
+            counter.add(share as u64);
+        }
+    }
+}
 
 /// Shared state between the pool handle and its worker lanes.
 struct PoolShared {
@@ -99,6 +148,7 @@ pub struct WorkerPool {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<thread::JoinHandle<()>>,
     shared: Arc<PoolShared>,
+    tele: OnceLock<PoolTelemetry>,
 }
 
 impl core::fmt::Debug for WorkerPool {
@@ -130,6 +180,7 @@ impl WorkerPool {
                 sender: None,
                 workers: Vec::new(),
                 shared,
+                tele: OnceLock::new(),
             };
         }
         let (tx, rx) = mpsc::channel::<Job>();
@@ -171,7 +222,18 @@ impl WorkerPool {
             sender: Some(tx),
             workers,
             shared,
+            tele: OnceLock::new(),
         }
+    }
+
+    /// Mirrors the pool's deterministic dispatch counters into
+    /// `telemetry`: `shield.pool.{batches,jobs,lane_panics,
+    /// recovered_retries,failed_jobs}` plus one
+    /// `shield.pool.lane{k}.dispatched` counter per lane under the
+    /// round-robin model dispatch. Attach-once: later calls are ignored,
+    /// matching the pool's fixed-lanes lifecycle.
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        let _ = self.tele.set(PoolTelemetry::bind(telemetry, self.lanes));
     }
 
     /// Number of worker lanes.
@@ -210,6 +272,9 @@ impl WorkerPool {
     {
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
         let n = items.len();
+        if let Some(tele) = self.tele.get() {
+            tele.note_batch(n);
+        }
         let Some(sender) = &self.sender else {
             // Single lane: inline execution, trivially deterministic.
             return items
@@ -277,6 +342,9 @@ impl WorkerPool {
     {
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
         let n = items.len();
+        if let Some(tele) = self.tele.get() {
+            tele.note_batch(n);
+        }
         let retry_items = items.clone();
         let f = Arc::new(f);
         let mut outcome = TryRunOutcome {
@@ -361,6 +429,11 @@ impl WorkerPool {
                     outcome.failed.push(i);
                 }
             }
+        }
+        if let Some(tele) = self.tele.get() {
+            tele.lane_panics.add(outcome.lane_panics);
+            tele.recovered_retries.add(outcome.recovered);
+            tele.failed_jobs.add(outcome.failed.len() as u64);
         }
         outcome
     }
@@ -542,6 +615,27 @@ mod tests {
         assert_eq!(out.results[4], Some(4));
         // The pool (and its queue mutex) survive for the next batch.
         assert_eq!(pool.run(vec![1u64, 2], |_, x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn telemetry_counts_model_dispatch_deterministically() {
+        let t = Telemetry::new();
+        let pool = WorkerPool::new(4);
+        pool.attach_telemetry(&t);
+        let _ = pool.try_run((0..10u64).collect(), |_, x| x);
+        pool.arm_lane_panic_sticky(2);
+        let _ = pool.try_run((0..3u64).collect(), |_, x| x);
+        let r = t.report();
+        assert_eq!(r.counters["shield.pool.batches"], 2);
+        assert_eq!(r.counters["shield.pool.jobs"], 13);
+        // Round-robin model dispatch: 10 jobs then 3 jobs over 4 lanes.
+        assert_eq!(r.counters["shield.pool.lane0.dispatched"], 3 + 1);
+        assert_eq!(r.counters["shield.pool.lane1.dispatched"], 3 + 1);
+        assert_eq!(r.counters["shield.pool.lane2.dispatched"], 2 + 1);
+        assert_eq!(r.counters["shield.pool.lane3.dispatched"], 2);
+        assert_eq!(r.counters["shield.pool.lane_panics"], 2);
+        assert_eq!(r.counters["shield.pool.recovered_retries"], 0);
+        assert_eq!(r.counters["shield.pool.failed_jobs"], 1);
     }
 
     #[test]

@@ -200,6 +200,16 @@ impl CostLedger {
             .unwrap_or_default()
     }
 
+    /// Serial cycles plus the sum of every lane: a value that advances
+    /// on *every* charge, unlike [`CostLedger::bottleneck`], which only
+    /// moves when the busiest lane does. This is the deterministic
+    /// logical clock used for telemetry span timestamps — monotone,
+    /// model-derived, and independent of real thread scheduling.
+    #[must_use]
+    pub fn total_busy(&self) -> Cycles {
+        self.serial + self.lanes.values().copied().sum::<Cycles>()
+    }
+
     /// Merges another ledger into this one (lane-wise addition).
     pub fn merge(&mut self, other: &CostLedger) {
         self.serial += other.serial;
@@ -266,6 +276,22 @@ mod tests {
         assert_eq!(l.group_makespan("shield.in[0]"), Cycles(50));
         assert_eq!(l.group_total("shield."), Cycles(1099));
         assert_eq!(l.group_makespan("nope"), Cycles::ZERO);
+    }
+
+    #[test]
+    fn total_busy_advances_on_every_charge() {
+        let mut l = CostLedger::new();
+        assert_eq!(l.total_busy(), Cycles::ZERO);
+        l.add_busy("a", Cycles(10));
+        l.add_busy("b", Cycles(3));
+        assert_eq!(l.total_busy(), Cycles(13));
+        // A charge to a non-bottleneck lane moves total_busy but not
+        // bottleneck — that's why spans use total_busy as their clock.
+        l.add_busy("b", Cycles(2));
+        assert_eq!(l.bottleneck(), Cycles(10));
+        assert_eq!(l.total_busy(), Cycles(15));
+        l.add_serial(Cycles(4));
+        assert_eq!(l.total_busy(), Cycles(19));
     }
 
     #[test]

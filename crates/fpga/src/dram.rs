@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use shef_telemetry::{Counter, Telemetry};
+
 use crate::axi::{split_bursts, Axi4Port};
 use crate::clock::{CostLedger, Cycles};
 use crate::FpgaError;
@@ -49,6 +51,26 @@ pub struct DramStats {
     pub write_bursts: u64,
 }
 
+/// Pre-resolved telemetry handles for the DRAM traffic counters.
+#[derive(Debug, Clone)]
+struct DramTelemetry {
+    bytes_read: Counter,
+    bytes_written: Counter,
+    read_bursts: Counter,
+    write_bursts: Counter,
+}
+
+impl DramTelemetry {
+    fn bind(t: &Telemetry) -> Self {
+        DramTelemetry {
+            bytes_read: t.counter("fpga.dram.bytes_read"),
+            bytes_written: t.counter("fpga.dram.bytes_written"),
+            read_bursts: t.counter("fpga.dram.read_bursts"),
+            write_bursts: t.counter("fpga.dram.write_bursts"),
+        }
+    }
+}
+
 /// The simulated device DRAM.
 ///
 /// Unwritten bytes read as zero, like freshly-initialized DDR4 after the
@@ -59,6 +81,7 @@ pub struct Dram {
     timing: DramTiming,
     stats: DramStats,
     ledger: CostLedger,
+    tele: Option<DramTelemetry>,
 }
 
 impl core::fmt::Debug for Dram {
@@ -93,7 +116,15 @@ impl Dram {
             timing,
             stats: DramStats::default(),
             ledger: CostLedger::new(),
+            tele: None,
         }
+    }
+
+    /// Mirror the traffic counters into `telemetry` as
+    /// `fpga.dram.{bytes_read,bytes_written,read_bursts,write_bursts}`.
+    /// Tamper accesses stay invisible, exactly like [`Dram::stats`].
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = Some(DramTelemetry::bind(telemetry));
     }
 
     /// Memory size in bytes.
@@ -194,6 +225,10 @@ impl Axi4Port for Dram {
         self.raw_read(addr, &mut buf);
         self.stats.bytes_read += len as u64;
         self.stats.read_bursts += bursts.len() as u64;
+        if let Some(tele) = &self.tele {
+            tele.bytes_read.add(len as u64);
+            tele.read_bursts.add(bursts.len() as u64);
+        }
         self.charge(len, bursts.len() as u64);
         Ok(buf)
     }
@@ -204,6 +239,10 @@ impl Axi4Port for Dram {
         self.raw_write(addr, data);
         self.stats.bytes_written += data.len() as u64;
         self.stats.write_bursts += bursts.len() as u64;
+        if let Some(tele) = &self.tele {
+            tele.bytes_written.add(data.len() as u64);
+            tele.write_bursts.add(bursts.len() as u64);
+        }
         self.charge(data.len(), bursts.len() as u64);
         Ok(())
     }
@@ -269,6 +308,21 @@ mod tests {
         assert_eq!(dram.ledger().lane("dram"), Cycles(120));
         dram.reset_accounting();
         assert_eq!(dram.ledger().lane("dram"), Cycles::ZERO);
+    }
+
+    #[test]
+    fn telemetry_mirrors_traffic_but_not_tampering() {
+        let t = Telemetry::new();
+        let mut dram = Dram::new(1 << 20);
+        dram.attach_telemetry(&t);
+        dram.write_burst(0, &[0u8; 5000]).unwrap();
+        let _ = dram.read_burst(0, 100).unwrap();
+        dram.tamper_write(0, b"evil");
+        let r = t.report();
+        assert_eq!(r.counters["fpga.dram.bytes_written"], 5000);
+        assert_eq!(r.counters["fpga.dram.bytes_read"], 100);
+        assert_eq!(r.counters["fpga.dram.write_bursts"], 2);
+        assert_eq!(r.counters["fpga.dram.read_bursts"], 1);
     }
 
     #[test]

@@ -45,12 +45,20 @@ pub enum PortAccessOutcome {
     Succeeded,
 }
 
+/// Pre-resolved telemetry handles for the port monitors.
+#[derive(Debug, Clone)]
+struct PortsTelemetry {
+    tamper_events: shef_telemetry::Counter,
+    unmonitored_accesses: shef_telemetry::Counter,
+}
+
 /// The device's debug ports plus the tamper monitor state.
 #[derive(Debug, Default)]
 pub struct DebugPorts {
     monitors_armed: bool,
     events: Vec<TamperEvent>,
     unmonitored_accesses: u64,
+    tele: Option<PortsTelemetry>,
 }
 
 impl DebugPorts {
@@ -59,6 +67,17 @@ impl DebugPorts {
     #[must_use]
     pub fn new() -> Self {
         DebugPorts::default()
+    }
+
+    /// Mirror port activity into `telemetry` as
+    /// `fpga.ports.tamper_events` (blocked-and-logged accesses) and
+    /// `fpga.ports.unmonitored_accesses` (accesses that slipped through
+    /// while monitors were disarmed).
+    pub fn attach_telemetry(&mut self, telemetry: &shef_telemetry::Telemetry) {
+        self.tele = Some(PortsTelemetry {
+            tamper_events: telemetry.counter("fpga.ports.tamper_events"),
+            unmonitored_accesses: telemetry.counter("fpga.ports.unmonitored_accesses"),
+        });
     }
 
     /// Arms the tamper monitors (Security Kernel duty).
@@ -84,9 +103,15 @@ impl DebugPorts {
                 port,
                 description: description.to_owned(),
             });
+            if let Some(tele) = &self.tele {
+                tele.tamper_events.inc();
+            }
             PortAccessOutcome::BlockedAndLogged
         } else {
             self.unmonitored_accesses += 1;
+            if let Some(tele) = &self.tele {
+                tele.unmonitored_accesses.inc();
+            }
             PortAccessOutcome::Succeeded
         }
     }
@@ -161,6 +186,19 @@ mod tests {
         assert!(!ports.monitors_armed());
         assert!(ports.pending_events().is_empty());
         assert_eq!(ports.unmonitored_access_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_both_outcomes() {
+        let t = shef_telemetry::Telemetry::new();
+        let mut ports = DebugPorts::new();
+        ports.attach_telemetry(&t);
+        ports.adversarial_access(DebugPort::Icap, "while disarmed");
+        ports.arm_monitors();
+        ports.adversarial_access(DebugPort::Jtag, "while armed");
+        let r = t.report();
+        assert_eq!(r.counters["fpga.ports.unmonitored_accesses"], 1);
+        assert_eq!(r.counters["fpga.ports.tamper_events"], 1);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Span-based tracer over a deterministic logical clock.
+//!
+//! Timestamps are *modelled cycles* (e.g. snapshots of the ShEF cost
+//! ledger), never wall time, so traces of the same workload are
+//! byte-identical run to run — even when the traced code executes on
+//! real worker threads. A span is a named scope with a start and end
+//! timestamp; the tracer keeps per-scope aggregates for every span plus
+//! the raw first [`SPAN_CAP`] spans (keeping the *first* N is
+//! deterministic, unlike a ring buffer fed from racing threads).
+
+/// Maximum number of raw spans retained per registry; later spans still
+/// update the per-scope aggregates and bump the dropped count.
+pub const SPAN_CAP: usize = 256;
+
+/// One recorded scope interval on the logical clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Scope name, e.g. `shield.engine.crypto`.
+    pub scope: String,
+    /// Logical-clock value when the scope was entered.
+    pub start_cycles: u64,
+    /// Logical-clock value when the scope was exited.
+    pub end_cycles: u64,
+}
+
+impl Span {
+    /// Span length on the logical clock; zero if the clock did not advance.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end_cycles.saturating_sub(self.start_cycles)
+    }
+}
+
+/// Aggregate of every span recorded under one scope name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScopeAgg {
+    /// Number of spans recorded under this scope.
+    pub count: u64,
+    /// Sum of span durations, in modelled cycles.
+    pub total_cycles: u64,
+    /// Longest single span, in modelled cycles.
+    pub max_cycles: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SpanBuffer {
+    pub(crate) spans: Vec<Span>,
+    pub(crate) dropped: u64,
+    pub(crate) scopes: std::collections::BTreeMap<String, ScopeAgg>,
+}
+
+impl SpanBuffer {
+    pub(crate) fn record(&mut self, scope: &str, start_cycles: u64, end_cycles: u64) {
+        let span = Span {
+            scope: scope.to_string(),
+            start_cycles,
+            end_cycles,
+        };
+        let agg = self.scopes.entry(scope.to_string()).or_default();
+        agg.count += 1;
+        agg.total_cycles = agg.total_cycles.saturating_add(span.duration());
+        agg.max_cycles = agg.max_cycles.max(span.duration());
+        if self.spans.len() < SPAN_CAP {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}

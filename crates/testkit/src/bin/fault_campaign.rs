@@ -9,15 +9,17 @@ use std::io::Write as _;
 use std::sync::mpsc;
 use std::time::Duration;
 
+use shef_telemetry::Telemetry;
 use shef_testkit::{
-    campaign_plan, json_escape, run_plan, CampaignRecord, DataPath, FaultClass, FaultPlan,
-    ScenarioReport, Scheme, Verdict,
+    campaign_plan, json_escape, run_plan, CampaignRecord, CampaignTelemetry, DataPath, FaultClass,
+    FaultPlan, ScenarioReport, Scheme, Verdict,
 };
 
 struct Args {
     seeds: u64,
     lanes: Vec<usize>,
     json: Option<String>,
+    telemetry: Option<String>,
     timeout_secs: u64,
 }
 
@@ -26,6 +28,7 @@ fn parse_args() -> Args {
         seeds: 32,
         lanes: vec![1, 2, 4],
         json: None,
+        telemetry: None,
         timeout_secs: 60,
     };
     let mut it = std::env::args().skip(1);
@@ -43,6 +46,9 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            "--telemetry" => {
+                args.telemetry = Some(it.next().expect("--telemetry needs a path"));
+            }
             "--timeout-secs" => {
                 let v = it.next().expect("--timeout-secs needs a value");
                 args.timeout_secs = v.parse().expect("--timeout-secs: not a number");
@@ -50,7 +56,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fault_campaign [--seeds N] [--lanes 1,2,4] \
-                     [--json PATH] [--timeout-secs N]"
+                     [--json PATH] [--telemetry PATH] [--timeout-secs N]"
                 );
                 std::process::exit(0);
             }
@@ -101,6 +107,8 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
 
     let budget = Duration::from_secs(args.timeout_secs);
+    let telemetry = Telemetry::new();
+    let campaign_tele = CampaignTelemetry::bind(&telemetry);
     let mut records: Vec<CampaignRecord> = Vec::new();
     let mut disallowed = 0usize;
 
@@ -115,6 +123,7 @@ fn main() {
                 let plan = campaign_plan(seed, class, lanes, path);
                 let scheme = plan.scheme;
                 let report = run_with_watchdog(plan, budget);
+                campaign_tele.record(&report);
                 if !report.is_allowed() {
                     disallowed += 1;
                     eprintln!(
@@ -144,6 +153,7 @@ fn main() {
                 (1u64, DataPath::Parallel { lanes }),
             ] {
                 let report = run_with_watchdog(FaultPlan::clean(seed, scheme, path), budget);
+                campaign_tele.record(&report);
                 if report.verdict != Verdict::Clean {
                     disallowed += 1;
                     eprintln!(
@@ -204,6 +214,13 @@ fn main() {
         let mut f = std::fs::File::create(path).expect("create --json output file");
         f.write_all(out.as_bytes()).expect("write --json output");
         println!("wrote {} ({} records)", path, records.len());
+    }
+
+    if let Some(path) = &args.telemetry {
+        let report = telemetry.report();
+        std::fs::write(path, report.to_json()).expect("write --telemetry output");
+        println!("{}", report.summary_table());
+        println!("wrote telemetry report to {path}");
     }
 
     if disallowed > 0 {

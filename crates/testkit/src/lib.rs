@@ -446,6 +446,20 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// Every verdict in the taxonomy, in report order.
+    pub const ALL: [Verdict; 10] = [
+        Verdict::DetectedSpoof,
+        Verdict::DetectedSplice,
+        Verdict::DetectedReplay,
+        Verdict::Drained,
+        Verdict::Poisoned,
+        Verdict::RecoveredAfterRetry,
+        Verdict::Masked,
+        Verdict::Clean,
+        Verdict::SilentCorruption,
+        Verdict::Hang,
+    ];
+
     /// Whether the verdict is on the campaign allowlist.
     #[must_use]
     pub fn is_allowed(self) -> bool {
@@ -1175,6 +1189,70 @@ impl CampaignRecord {
             self.report.is_allowed(),
             json_escape(&self.report.detail),
         )
+    }
+}
+
+/// Mirrors campaign verdicts into a [`shef_telemetry::Telemetry`]
+/// registry for the exported run report.
+///
+/// Binding pre-registers a `fault.verdict.<verdict>` counter for
+/// **every** verdict in the taxonomy, so the forbidden ones
+/// (`silent_corruption`, `hang`) appear in the report as explicit
+/// zeros — which is what lets `scripts/check_report.sh` gate on them
+/// instead of treating absence as success.
+///
+/// ```
+/// use shef_telemetry::Telemetry;
+/// use shef_testkit::{CampaignTelemetry, run_plan, DataPath, FaultClass, FaultPlan, Scheme};
+///
+/// let telemetry = Telemetry::new();
+/// let tele = CampaignTelemetry::bind(&telemetry);
+/// let report = run_plan(&FaultPlan::single(3, FaultClass::DramBitFlip, Scheme::MacOnly,
+///     DataPath::Serial));
+/// tele.record(&report);
+/// let snapshot = telemetry.report();
+/// assert!(snapshot.counters.iter().any(|(n, v)| n.as_str() == "fault.scenarios" && *v == 1));
+/// assert!(snapshot.counters.iter().any(|(n, v)| n.as_str() == "fault.verdict.hang" && *v == 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignTelemetry {
+    scenarios: shef_telemetry::Counter,
+    disallowed: shef_telemetry::Counter,
+    verdicts: std::collections::BTreeMap<&'static str, shef_telemetry::Counter>,
+}
+
+impl CampaignTelemetry {
+    /// Registers the campaign counters (all starting at zero) in
+    /// `telemetry`.
+    #[must_use]
+    pub fn bind(telemetry: &shef_telemetry::Telemetry) -> Self {
+        CampaignTelemetry {
+            scenarios: telemetry.counter("fault.scenarios"),
+            disallowed: telemetry.counter("fault.disallowed"),
+            verdicts: Verdict::ALL
+                .iter()
+                .map(|v| {
+                    (
+                        v.as_str(),
+                        telemetry.counter(&format!("fault.verdict.{}", v.as_str())),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Counts one scenario outcome: the primary verdict, the
+    /// containment-probe verdict (when present), and whether the
+    /// scenario was allowlisted.
+    pub fn record(&self, report: &ScenarioReport) {
+        self.scenarios.inc();
+        self.verdicts[report.verdict.as_str()].inc();
+        if let Some(probe) = report.probe {
+            self.verdicts[probe.as_str()].inc();
+        }
+        if !report.is_allowed() {
+            self.disallowed.inc();
+        }
     }
 }
 

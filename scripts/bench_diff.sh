@@ -25,7 +25,32 @@ cur=$2
 thresh=${3:--1}
 
 for f in "$base" "$cur"; do
+    [ -f "$f" ] || { echo "bench_diff: $f does not exist" >&2; exit 2; }
     [ -r "$f" ] || { echo "bench_diff: cannot read $f" >&2; exit 2; }
+    [ -s "$f" ] || { echo "bench_diff: $f is empty" >&2; exit 2; }
+    # Every record line must be a complete one-line JSON object carrying
+    # the fields the join below keys on; a truncated upload or a schema
+    # drift must fail the gate loudly, not silently diff zero records.
+    awk '
+        /"workload"/ {
+            records++
+            # One complete object per line; a trailing comma is fine
+            # (the report wraps the records in a JSON array).
+            if ($0 !~ /^[[:space:]]*\{.*\},?[[:space:]]*$/ \
+                || $0 !~ /"profile"/ || $0 !~ /"lanes"/ \
+                || $0 !~ /"shield_cycles"/) {
+                printf "bench_diff: malformed record line %d in %s: %s\n", NR, FILENAME, $0 > "/dev/stderr"
+                bad = 1
+            }
+        }
+        END {
+            if (records == 0) {
+                printf "bench_diff: no bench records in %s (not a lane_scaling --json report?)\n", FILENAME > "/dev/stderr"
+                exit 2
+            }
+            exit bad ? 2 : 0
+        }
+    ' "$f" || exit 2
 done
 
 awk -v thresh="$thresh" -v basefile="$base" '

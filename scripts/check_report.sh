@@ -1,0 +1,92 @@
+#!/usr/bin/env sh
+# Schema gate for a shef-telemetry line-JSON run report (see
+# `telemetry::Report::to_json`, and `--telemetry` on `lane_scaling` /
+# `fault_campaign`). Line-oriented on purpose: one record per line, so
+# plain awk can check it and CI needs no JSON tooling.
+#
+#   scripts/check_report.sh REPORT.json [REQUIRED_METRIC ...]
+#
+# Fails (exit 1) if:
+#   * the file is missing, empty, or the header line does not carry the
+#     `shef-telemetry/v1` schema tag;
+#   * any record line is not a complete one-line JSON object with a
+#     `kind` and `name`;
+#   * any counter, gauge, or cycle value is negative;
+#   * a forbidden-verdict counter (`fault.verdict.silent_corruption`,
+#     `fault.verdict.hang`) is present with a non-zero value;
+#   * any REQUIRED_METRIC named on the command line is absent.
+set -eu
+
+[ $# -ge 1 ] || { echo "usage: $0 REPORT.json [REQUIRED_METRIC ...]" >&2; exit 2; }
+report=$1
+shift
+
+[ -f "$report" ] || { echo "check_report: $report does not exist" >&2; exit 1; }
+[ -s "$report" ] || { echo "check_report: $report is empty" >&2; exit 1; }
+
+required=""
+for metric in "$@"; do
+    required="$required $metric"
+done
+
+awk -v required="$required" '
+function field(line, name,    rest) {
+    rest = line
+    if (rest !~ ("\"" name "\": *")) return ""
+    sub(".*\"" name "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+}
+function fail(msg) {
+    printf "check_report: line %d: %s: %s\n", NR, msg, $0 > "/dev/stderr"
+    bad = 1
+}
+NR == 1 {
+    if ($0 !~ /"schema": "shef-telemetry\/v1"/)
+        fail("header does not carry schema shef-telemetry/v1")
+    next
+}
+/^[[:space:]]*$/ { fail("blank line in line-oriented report"); next }
+{
+    if ($0 !~ /^\{.*\}[[:space:]]*$/) { fail("not a one-line JSON object"); next }
+    kind = field($0, "kind")
+    name = field($0, "name")
+    if (kind == "") { fail("record has no kind"); next }
+    if (name == "") { fail("record has no name"); next }
+    seen[name] = 1
+    if (kind == "counter" || kind == "gauge") {
+        value = field($0, "value")
+        if (value == "" || value !~ /^-?[0-9]+$/) fail("non-numeric " kind " value")
+        else if (value + 0 < 0) fail("negative " kind " value")
+        else if ((name == "fault.verdict.silent_corruption" || name == "fault.verdict.hang") \
+                 && value + 0 != 0)
+            fail("forbidden verdict counter is non-zero")
+    } else if (kind == "histogram") {
+        if (field($0, "count") + 0 < 0 || field($0, "sum") + 0 < 0)
+            fail("negative histogram total")
+    } else if (kind == "scope") {
+        if (field($0, "count") + 0 < 0 || field($0, "total_cycles") + 0 < 0 \
+            || field($0, "max_cycles") + 0 < 0)
+            fail("negative scope aggregate")
+    } else if (kind == "span") {
+        if (field($0, "start_cycles") + 0 < 0 || field($0, "end_cycles") + 0 < 0)
+            fail("negative span timestamp")
+    } else {
+        fail("unknown record kind " kind)
+    }
+}
+END {
+    if (NR == 0) { print "check_report: report has no lines" > "/dev/stderr"; bad = 1 }
+    n = split(required, want, " ")
+    for (i = 1; i <= n; i++) {
+        if (want[i] != "" && !(want[i] in seen)) {
+            printf "check_report: required metric %s is missing\n", want[i] > "/dev/stderr"
+            bad = 1
+        }
+    }
+    exit bad ? 1 : 0
+}
+' "$report"
+
+echo "check_report: $report OK"

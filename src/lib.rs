@@ -8,6 +8,9 @@
 //! * [`core`] — ShEF itself: secure boot, remote attestation, and the
 //!   customizable Shield.
 //! * [`accel`] — the six evaluation accelerators from the paper.
+//! * [`telemetry`] — deterministic metrics registry, datapath tracing,
+//!   and the exported run report (see the `README.md` "Observability"
+//!   section).
 //!
 //! See the `examples/` directory for end-to-end walkthroughs
 //! (`quickstart`, `gdpr_storage`, `secure_ml_inference`, `attack_demo`,
@@ -27,3 +30,4 @@ pub use shef_accel as accel;
 pub use shef_core as core;
 pub use shef_crypto as crypto;
 pub use shef_fpga as fpga;
+pub use shef_telemetry as telemetry;

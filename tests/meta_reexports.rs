@@ -95,6 +95,21 @@ fn shield_round_trip_through_facades() {
     assert_ne!(in_dram, update, "DRAM must hold ciphertext, not plaintext");
 }
 
+/// `shef::telemetry` is reachable and its registry round-trips through
+/// the exporters.
+#[test]
+fn telemetry_facade_exports_reports() {
+    let telemetry = shef::telemetry::Telemetry::new();
+    telemetry.counter("facade.hits").add(3);
+    telemetry.trace("facade.phase", 10, 42);
+    let report = telemetry.report();
+    assert!(report
+        .to_json()
+        .starts_with("{\"schema\": \"shef-telemetry/v1\""));
+    assert!(report.to_prometheus().contains("facade_hits 3"));
+    assert_eq!(report.scopes["facade.phase"].total_cycles, 32);
+}
+
 /// The accelerator façade drives the same Shield machinery end-to-end.
 #[test]
 fn accel_facade_runs_shielded_vecadd() {
