@@ -6,9 +6,11 @@
 //! both are timed end to end (host DMA in → kernel → host DMA out) and
 //! the figure reports the ratio.
 
-use shef_core::shield::bus::{MemoryBus, ParallelShieldedBus, PlainBus, ShieldedBus};
+use shef_core::shield::bus::{MemoryBus, ParallelShieldedBus, PlainBus, ShieldedBus, ACCEL_LANE};
+use shef_core::shield::engine::AccessMode;
 use shef_core::shield::{
-    client, DataEncryptionKey, EngineSetStats, RegisterInterface, Shield, WorkerPool,
+    client, DataEncryptionKey, EngineSetStats, RegisterInterface, ServiceConfig, ServiceRequest,
+    Shield, ShieldService, TenantId, WorkerPool,
 };
 use shef_core::ShefError;
 use shef_crypto::ecies::EciesKeyPair;
@@ -467,6 +469,329 @@ pub struct OverheadReport {
     pub shielded_verified: bool,
 }
 
+/// One tenant's slice of a [`ServiceRunReport`]: the same end-to-end
+/// measurement [`RunReport`] makes for a single-tenant run, read off
+/// the tenant's private ledger and engine sets.
+#[derive(Debug)]
+pub struct TenantRunReport {
+    /// Tenant name (`tenant0..tenantN` in registration order).
+    pub tenant: String,
+    /// Modelled execution time in device cycles (bottleneck model over
+    /// the tenant's private ledger, DRAM charges merged).
+    pub cycles: Cycles,
+    /// Execution time in microseconds at the F1 fabric clock.
+    pub micros: f64,
+    /// Full per-tenant cost breakdown.
+    pub ledger: CostLedger,
+    /// True if the tenant's output regions matched the golden model and
+    /// `host_post` accepted the result registers.
+    pub outputs_verified: bool,
+    /// The tenant's engine-set statistics.
+    pub engine_stats: Vec<(String, EngineSetStats)>,
+}
+
+/// Result of one [`run_shielded_service`] run: per-tenant measurements
+/// plus the service-level scheduling picture.
+#[derive(Debug)]
+pub struct ServiceRunReport {
+    /// One report per tenant, in registration order.
+    pub tenants: Vec<TenantRunReport>,
+    /// Final logical clock of every shard, in shard order.
+    pub shard_clocks: Vec<Cycles>,
+    /// Requests the admission queue accepted over the whole run.
+    pub admitted: u64,
+    /// Completions the service delivered (equals `admitted` on a clean
+    /// run — the starvation-freedom invariant).
+    pub completed: u64,
+    /// Telemetry snapshot of the run (service, engine, pool and DRAM
+    /// instruments in one registry).
+    pub telemetry: Report,
+}
+
+impl ServiceRunReport {
+    /// True if every tenant's outputs verified.
+    #[must_use]
+    pub fn all_verified(&self) -> bool {
+        self.tenants.iter().all(|t| t.outputs_verified)
+    }
+
+    /// The slowest tenant's modelled cycles — the figure a tenant-
+    /// scaling sweep plots.
+    #[must_use]
+    pub fn makespan(&self) -> Cycles {
+        self.tenants
+            .iter()
+            .map(|t| t.cycles)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+/// Adapter driving one tenant's kernel through the service: every bus
+/// operation is submitted to the admission queue and drained to a
+/// completion, so the request still crosses admission control and the
+/// shard scheduler. Compute occupancy and register traffic bypass the
+/// queue and charge the tenant directly, exactly like
+/// [`ParallelShieldedBus`].
+struct ServiceBus<'a> {
+    service: &'a mut ShieldService,
+    tenant: TenantId,
+}
+
+impl ServiceBus<'_> {
+    fn roundtrip(&mut self, request: ServiceRequest) -> Result<Option<Vec<u8>>, ShefError> {
+        let id = self.service.submit(self.tenant, request)?;
+        let completion = self
+            .service
+            .drain()
+            .into_iter()
+            .find(|c| c.request == id)
+            .ok_or_else(|| {
+                ShefError::ProtocolViolation("service lost an admitted request".into())
+            })?;
+        completion.payload
+    }
+}
+
+impl MemoryBus for ServiceBus<'_> {
+    fn read(&mut self, addr: u64, len: usize, mode: AccessMode) -> Result<Vec<u8>, ShefError> {
+        self.roundtrip(ServiceRequest::Read { addr, len, mode })
+            .map(Option::unwrap_or_default)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8], mode: AccessMode) -> Result<(), ShefError> {
+        self.roundtrip(ServiceRequest::Write {
+            addr,
+            data: data.to_vec(),
+            mode,
+        })
+        .map(|_| ())
+    }
+
+    fn flush(&mut self) -> Result<(), ShefError> {
+        self.roundtrip(ServiceRequest::Flush).map(|_| ())
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.service
+            .tenant_ledger_mut(self.tenant)
+            .add_busy(ACCEL_LANE, Cycles(cycles));
+    }
+
+    fn reg_read(&mut self, index: usize) -> u64 {
+        self.service
+            .tenant_shield(self.tenant)
+            .registers()
+            .accel_read(index)
+    }
+
+    fn reg_write(&mut self, index: usize, value: u64) {
+        self.service
+            .tenant_shield(self.tenant)
+            .registers()
+            .accel_write(index, value);
+    }
+}
+
+/// Runs `tenants` instances of one workload through a
+/// [`ShieldService`], each tenant in its own key domain and address
+/// namespace. The measured window per tenant matches [`run_shielded`]:
+/// input DMA (ciphertext + tags), sealed register writes, the kernel
+/// (every burst crossing admission + shard dispatch), flush, output DMA
+/// and verification-side decryption. With one tenant and a one-shard
+/// service of `lanes` lanes this is bit-identical to
+/// [`run_shielded_parallel`] at `lanes` — the differential conformance
+/// suite pins exactly that.
+///
+/// # Errors
+///
+/// Propagates configuration, admission, integrity and bus errors.
+pub fn run_shielded_service(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+    seed: u64,
+    tenants: usize,
+    service_config: &ServiceConfig,
+) -> Result<ServiceRunReport, ShefError> {
+    run_shielded_service_impl(make_accel, profile, seed, tenants, service_config, None)
+}
+
+/// [`run_shielded_service`] with a caller-supplied telemetry registry
+/// (see [`run_shielded_with_telemetry`]).
+///
+/// # Errors
+///
+/// Propagates configuration, admission, integrity and bus errors.
+pub fn run_shielded_service_with_telemetry(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+    seed: u64,
+    tenants: usize,
+    service_config: &ServiceConfig,
+    telemetry: &Telemetry,
+) -> Result<ServiceRunReport, ShefError> {
+    run_shielded_service_impl(
+        make_accel,
+        profile,
+        seed,
+        tenants,
+        service_config,
+        Some(telemetry),
+    )
+}
+
+fn run_shielded_service_impl(
+    make_accel: &dyn Fn() -> Box<dyn Accelerator>,
+    profile: &CryptoProfile,
+    seed: u64,
+    tenants: usize,
+    service_config: &ServiceConfig,
+    telemetry: Option<&Telemetry>,
+) -> Result<ServiceRunReport, ShefError> {
+    if tenants == 0 {
+        return Err(ShefError::InvalidConfig(
+            "service run needs >= 1 tenant".into(),
+        ));
+    }
+    let master = DataEncryptionKey::from_bytes(
+        shef_crypto::drbg::HmacDrbg::from_seed(format!("harness.service.master.{seed}").as_bytes())
+            .generate_array::<32>(),
+    );
+    let mut service = ShieldService::new(service_config.clone(), master.clone())?;
+    if let Some(telemetry) = telemetry {
+        service.attach_telemetry(telemetry);
+    }
+    let run_telemetry = service.telemetry().clone();
+
+    // Register every tenant and stage its encrypted inputs before any
+    // kernel runs (the Data Owners provision independently).
+    let mut ids: Vec<TenantId> = Vec::with_capacity(tenants);
+    let mut accels: Vec<Box<dyn Accelerator>> = Vec::with_capacity(tenants);
+    let mut host = HostCpu::new();
+    for i in 0..tenants {
+        let name = format!("tenant{i}");
+        let accel = make_accel();
+        let config = accel.shield_config(profile);
+        config.validate()?;
+        let id = service.register_tenant(&name, config)?;
+        let dek = master.tenant_key(&name);
+        for input in accel.inputs() {
+            let (shield, shell, dram, ledger) = service.tenant_datapath(id);
+            let (index, region) = find_region(shield, &input.region)?;
+            let chunk = region.engine_set.chunk_size as u64;
+            debug_assert_eq!(input.offset % chunk, 0, "offsets must be chunk-aligned");
+            let first_chunk = (input.offset / chunk) as u32;
+            let enc = client::encrypt_region_at(&dek, &region, first_chunk, &input.data, 0);
+            host.dma_to_device(
+                shell,
+                dram,
+                ledger,
+                region.range.start + input.offset,
+                &enc.ciphertext,
+            )?;
+            let tag_base = shield.config().tag_base(index) + u64::from(first_chunk) * 16;
+            host.dma_to_device_chained(shell, dram, ledger, tag_base, &enc.tags)?;
+        }
+        let mut reg_key = dek.register_key();
+        for (index, value) in accel.host_pre() {
+            let sealed = RegisterInterface::client_seal_value(&mut reg_key, index, value)?;
+            let (shield, _, _, ledger) = service.tenant_datapath(id);
+            shield.host_reg_write(index, &sealed)?;
+            ledger.add_serial(Cycles(4 + sealed.to_bytes().len() as u64 / 4));
+        }
+        ids.push(id);
+        accels.push(accel);
+    }
+
+    // Kernel execution: each tenant's bursts cross admission control
+    // and the min-clock shard arbiter.
+    for (id, accel) in ids.iter().zip(accels.iter_mut()) {
+        let mut bus = ServiceBus {
+            service: &mut service,
+            tenant: *id,
+        };
+        accel.run(&mut bus)?;
+        bus.flush()?;
+    }
+
+    // Output readback + client-side verification per tenant.
+    let mut verified = vec![true; tenants];
+    for (i, (id, accel)) in ids.iter().zip(accels.iter()).enumerate() {
+        let dek = master.tenant_key(&format!("tenant{i}"));
+        for expected in accel.expected_outputs() {
+            let (shield, shell, dram, ledger) = service.tenant_datapath(*id);
+            let (index, region) = find_region(shield, &expected.region)?;
+            let chunk = region.engine_set.chunk_size as u64;
+            debug_assert_eq!(expected.offset % chunk, 0, "offsets must be chunk-aligned");
+            let first_chunk = (expected.offset / chunk) as u32;
+            let len = expected.data.len();
+            let tag_base = shield.config().tag_base(index) + u64::from(first_chunk) * 16;
+            let ct = host.dma_from_device(
+                shell,
+                dram,
+                ledger,
+                region.range.start + expected.offset,
+                len,
+            )?;
+            let tag_len = client::tag_bytes_for(len, region.engine_set.chunk_size);
+            let tags = host.dma_from_device_chained(shell, dram, ledger, tag_base, tag_len)?;
+            let plain = client::decrypt_region_at(
+                &dek,
+                &region,
+                first_chunk,
+                &ct,
+                &tags,
+                &client::uniform_epochs(0),
+            )?;
+            if plain != expected.data {
+                verified[i] = false;
+            }
+        }
+        let reg_key = dek.register_key();
+        let mut read_reg = |index: usize| -> Result<u64, ShefError> {
+            let sealed = service.tenant_shield(*id).host_reg_read(index)?;
+            RegisterInterface::client_open_value(&reg_key, index, &sealed)
+        };
+        if !accel.host_post(&mut read_reg)? {
+            verified[i] = false;
+        }
+    }
+
+    let mut tenant_reports = Vec::with_capacity(tenants);
+    for (i, id) in ids.iter().enumerate() {
+        let stats = service.tenant_shield(*id).engine_stats();
+        let mut ledger = service.tenant_ledger(*id).clone();
+        ledger.merge(service.tenant_dram(*id).ledger());
+        let cycles = ledger.bottleneck();
+        tenant_reports.push(TenantRunReport {
+            tenant: service.tenant_name(*id).to_owned(),
+            cycles,
+            micros: ClockDomain::F1_DEFAULT.cycles_to_us(cycles),
+            ledger,
+            outputs_verified: verified[i],
+            engine_stats: stats,
+        });
+    }
+    let shard_clocks = (0..service.shard_count())
+        .map(|s| service.shard(s).clock())
+        .collect();
+    let snapshot = run_telemetry.report();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    Ok(ServiceRunReport {
+        tenants: tenant_reports,
+        shard_clocks,
+        admitted: counter("shield.service.admitted"),
+        completed: counter("shield.service.completed"),
+        telemetry: snapshot,
+    })
+}
+
 fn find_region(
     shield: &Shield,
     name: &str,
@@ -549,6 +874,55 @@ mod tests {
         let table = report.run_report();
         assert!(table.contains("outputs verified"));
         assert!(table.contains("shield.engine.walk"));
+    }
+
+    #[test]
+    fn one_tenant_service_run_matches_the_parallel_datapath() {
+        let make = || Box::new(VectorAdd::new(16 * 1024, 1)) as Box<dyn Accelerator>;
+        let pool = WorkerPool::new(2);
+        let mut accel = VectorAdd::new(16 * 1024, 1);
+        let parallel =
+            run_shielded_parallel(&mut accel, &CryptoProfile::AES128_4X, 11, &pool).unwrap();
+        let config = ServiceConfig {
+            shards: 1,
+            lanes_per_shard: 2,
+            ..ServiceConfig::default()
+        };
+        let service =
+            run_shielded_service(&make, &CryptoProfile::AES128_4X, 11, 1, &config).unwrap();
+        assert!(service.all_verified());
+        assert_eq!(service.tenants.len(), 1);
+        let tenant = &service.tenants[0];
+        assert_eq!(tenant.cycles, parallel.cycles);
+        assert_eq!(tenant.ledger, parallel.ledger);
+        assert_eq!(tenant.engine_stats, parallel.engine_stats);
+        assert_eq!(service.admitted, service.completed);
+    }
+
+    #[test]
+    fn multi_tenant_service_run_verifies_every_tenant() {
+        let make = || Box::new(VectorAdd::new(8 * 1024, 1)) as Box<dyn Accelerator>;
+        let config = ServiceConfig {
+            shards: 2,
+            lanes_per_shard: 2,
+            ..ServiceConfig::default()
+        };
+        let report = run_shielded_service(&make, &CryptoProfile::AES128_4X, 3, 4, &config).unwrap();
+        assert_eq!(report.tenants.len(), 4);
+        assert!(report.all_verified());
+        assert_eq!(report.admitted, report.completed, "no request lost");
+        // Tenants split across both shards, and both shards worked.
+        assert_eq!(report.shard_clocks.len(), 2);
+        assert!(report.shard_clocks.iter().all(|c| c.0 > 0));
+        // Same-seed runs are byte-identical at the scheduling level.
+        let again = run_shielded_service(&make, &CryptoProfile::AES128_4X, 3, 4, &config).unwrap();
+        assert_eq!(report.shard_clocks, again.shard_clocks);
+        assert_eq!(report.makespan(), again.makespan());
+        assert_eq!(
+            report.telemetry.to_json(),
+            again.telemetry.to_json(),
+            "service telemetry must be deterministic"
+        );
     }
 
     #[test]

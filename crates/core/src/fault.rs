@@ -39,6 +39,29 @@ pub enum ShieldFault {
         /// Name of the protected region whose engine set is poisoned.
         region: String,
     },
+    /// The multi-tenant service refused to enqueue a request: the
+    /// bounded admission queue (or the submitting tenant's quota slice
+    /// of it) is full. Back-pressure, not failure — the tenant may
+    /// retry after draining outstanding completions.
+    AdmissionReject {
+        /// Name of the tenant whose request was refused.
+        tenant: String,
+    },
+    /// An admitted request was dropped from the service queue before
+    /// dispatch (injected infrastructure fault). The request completes
+    /// with this error instead of silently vanishing, so every admitted
+    /// request still yields exactly one completion.
+    QueueDrop {
+        /// Name of the tenant whose request was dropped.
+        tenant: String,
+    },
+    /// The tenant was administratively aborted mid-batch: its queued
+    /// and future requests are refused until the tenant is detached.
+    /// Other tenants are unaffected.
+    TenantAborted {
+        /// Name of the aborted tenant.
+        tenant: String,
+    },
 }
 
 impl core::fmt::Display for ShieldFault {
@@ -51,6 +74,17 @@ impl core::fmt::Display for ShieldFault {
                 f,
                 "engine set for region '{region}' is poisoned after an integrity violation"
             ),
+            ShieldFault::AdmissionReject { tenant } => write!(
+                f,
+                "admission queue full: request from tenant '{tenant}' refused (retry after draining)"
+            ),
+            ShieldFault::QueueDrop { tenant } => write!(
+                f,
+                "queued request from tenant '{tenant}' dropped before dispatch"
+            ),
+            ShieldFault::TenantAborted { tenant } => {
+                write!(f, "tenant '{tenant}' was aborted mid-batch")
+            }
         }
     }
 }
@@ -67,5 +101,17 @@ mod tests {
             region: "weights".into(),
         };
         assert!(e.to_string().contains("weights"));
+        let e = ShieldFault::AdmissionReject {
+            tenant: "acme".into(),
+        };
+        assert!(e.to_string().contains("acme"));
+        let e = ShieldFault::QueueDrop {
+            tenant: "acme".into(),
+        };
+        assert!(e.to_string().contains("dropped"));
+        let e = ShieldFault::TenantAborted {
+            tenant: "acme".into(),
+        };
+        assert!(e.to_string().contains("aborted"));
     }
 }

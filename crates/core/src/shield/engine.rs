@@ -317,6 +317,15 @@ impl EngineSet {
         self.poisoned
     }
 
+    /// Plaintext bytes currently resident in the on-chip buffer. The
+    /// multi-tenant service reports this as shard occupancy, and the
+    /// isolation suite uses it to assert one tenant's working set never
+    /// migrates into another tenant's engine sets.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> u64 {
+        self.lines.values().map(|l| l.data.len() as u64).sum()
+    }
+
     /// Clears containment state after a detected integrity violation
     /// and re-opens the datapath. Every buffered line is dropped — its
     /// provenance is suspect once the DRAM image has been tampered with

@@ -77,6 +77,21 @@ impl DataEncryptionKey {
         AuthEncKey::from_bytes(master, MacAlgorithm::HmacSha256)
     }
 
+    /// Derives an independent per-tenant key domain from this master
+    /// key. The multi-tenant service provisions each tenant's Shield
+    /// with `tenant_key(name)`, so every region key, nonce, tree key
+    /// and register key downstream of it is disjoint across tenants:
+    /// the same address in two tenants' namespaces never shares
+    /// ciphertext, tags, or freshness state. Client-side tooling uses
+    /// the same derivation to decrypt a tenant's output.
+    #[must_use]
+    pub fn tenant_key(&self, tenant: &str) -> DataEncryptionKey {
+        let info = format!("shef.tenant.key.{tenant}");
+        DataEncryptionKey {
+            master: hkdf::derive_key32(b"shef.shield", &self.master, info.as_bytes()),
+        }
+    }
+
     /// Encrypts this key against a Shield's public encryption key,
     /// producing the Load Key (Fig. 3 step 8).
     #[must_use]
@@ -245,6 +260,24 @@ mod tests {
         let k2 = d2.region_key(&r);
         let sealed = k1.seal(b"payload", b"ad");
         assert_eq!(k2.open(&sealed, b"ad").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn tenant_keys_are_independent_and_deterministic() {
+        let master = DataEncryptionKey::from_bytes([7u8; 32]);
+        let a = master.tenant_key("alice");
+        let b = master.tenant_key("bob");
+        assert_ne!(a.to_bytes(), b.to_bytes(), "tenant domains must differ");
+        assert_ne!(a.to_bytes(), master.to_bytes());
+        // Same tenant name → same domain (client-side re-derivation).
+        assert_eq!(a.to_bytes(), master.tenant_key("alice").to_bytes());
+        // Region keys under different tenant domains do not interoperate
+        // even for the same region name (same address namespace).
+        let r = region("shared");
+        let mut ka = a.region_key(&r);
+        let kb = b.region_key(&r);
+        let sealed = ka.seal(b"tenant a secret", b"");
+        assert!(kb.open(&sealed, b"").is_err());
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod keys;
 pub mod merkle;
 pub mod pool;
 pub mod regif;
+pub mod service;
+pub mod shard;
 pub mod stream;
 pub mod timing;
 
@@ -39,6 +41,8 @@ pub use keys::{DataEncryptionKey, KeyStorage, LoadKey};
 pub use merkle::{MerkleConfig, MerkleStats, MerkleTree};
 pub use pool::{PoolStats, TryRunOutcome, WorkerPool};
 pub use regif::RegisterInterface;
+pub use service::{Completion, RequestId, ServiceConfig, ServiceRequest, ShieldService, TenantId};
+pub use shard::ShieldShard;
 pub use stream::{StreamDirection, StreamEndpoint, StreamFrame};
 pub use timing::BatchCost;
 

@@ -1,0 +1,168 @@
+//! One shard of the multi-tenant Shield service.
+//!
+//! A shard bundles a [`WorkerPool`] (the crypto lanes every tenant
+//! assigned to the shard shares) with a per-shard logical clock and a
+//! FIFO of coalesced, admitted requests. The service's scheduler is a
+//! min-clock arbiter over shards: each dispatch goes to the shard whose
+//! clock is furthest behind (ties broken by shard index), and the
+//! dispatched request's modelled busy cycles — plus a fixed
+//! [arbitration cost](super::timing::shard_dispatch_cost) — advance the
+//! clock. Both inputs are model-derived, so scheduling is a pure
+//! function of the submitted request sequence: same-seed runs are
+//! byte-identical, which is what lets CI diff service-level output.
+
+use std::collections::VecDeque;
+
+use shef_fpga::clock::Cycles;
+use shef_telemetry::Telemetry;
+
+use super::pool::WorkerPool;
+use super::service::PendingRequest;
+use super::timing::shard_dispatch_cost;
+
+/// One shard: shared worker lanes, a logical clock, and the FIFO of
+/// requests coalesced onto it (admission order preserved per shard).
+pub struct ShieldShard {
+    index: usize,
+    pool: WorkerPool,
+    clock: Cycles,
+    queue: VecDeque<PendingRequest>,
+    dispatched: u64,
+}
+
+impl core::fmt::Debug for ShieldShard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShieldShard")
+            .field("index", &self.index)
+            .field("lanes", &self.pool.lanes())
+            .field("clock", &self.clock)
+            .field("queued", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+impl ShieldShard {
+    /// Builds shard `index` with `lanes` worker lanes (clamped to ≥ 1
+    /// by [`WorkerPool::new`]).
+    #[must_use]
+    pub fn new(index: usize, lanes: usize) -> Self {
+        ShieldShard {
+            index,
+            pool: WorkerPool::new(lanes),
+            clock: Cycles::ZERO,
+            queue: VecDeque::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// The shard's position in the service's shard vector.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Worker lanes this shard fans chunk crypto across.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.pool.lanes()
+    }
+
+    /// The shared worker pool (also the fault-injection surface: the
+    /// pool's `arm_lane_panic*` hooks take `&self`).
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Attaches the pool's `shield.pool.*` instruments to a shared
+    /// registry (first attach wins; see [`WorkerPool::attach_telemetry`]).
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        self.pool.attach_telemetry(telemetry);
+    }
+
+    /// The shard's logical clock: accumulated dispatch cost of every
+    /// request it has executed.
+    #[must_use]
+    pub fn clock(&self) -> Cycles {
+        self.clock
+    }
+
+    /// Appends an admitted request to the shard FIFO.
+    pub fn enqueue(&mut self, request: PendingRequest) {
+        self.queue.push_back(request);
+    }
+
+    /// Requests currently coalesced onto this shard.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the shard has undispatched work.
+    #[must_use]
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Pops the shard's head-of-line request.
+    pub fn pop(&mut self) -> Option<PendingRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Advances the shard clock past one dispatched request that kept
+    /// the tenant's datapath busy for `request_busy` modelled cycles.
+    pub fn advance(&mut self, request_busy: Cycles) {
+        self.clock += shard_dispatch_cost(request_busy);
+        self.dispatched += 1;
+    }
+
+    /// Requests this shard has dispatched since construction.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::service::{PendingRequest, RequestId, ServiceRequest, TenantId};
+    use super::super::timing::SHARD_ARBITRATION_CYCLES;
+    use super::*;
+
+    fn pending(id: u64) -> PendingRequest {
+        PendingRequest {
+            id: RequestId::from_raw(id),
+            tenant: TenantId::from_index(0),
+            request: ServiceRequest::Flush,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_admission_order() {
+        let mut shard = ShieldShard::new(0, 2);
+        shard.enqueue(pending(1));
+        shard.enqueue(pending(2));
+        assert_eq!(shard.queue_len(), 2);
+        assert_eq!(shard.pop().unwrap().id, RequestId::from_raw(1));
+        assert_eq!(shard.pop().unwrap().id, RequestId::from_raw(2));
+        assert!(!shard.has_work());
+    }
+
+    #[test]
+    fn clock_always_advances_even_on_free_requests() {
+        let mut shard = ShieldShard::new(3, 1);
+        assert_eq!(shard.clock(), Cycles::ZERO);
+        shard.advance(Cycles::ZERO);
+        assert_eq!(shard.clock(), Cycles(SHARD_ARBITRATION_CYCLES + 1));
+        shard.advance(Cycles(97));
+        assert_eq!(shard.clock(), Cycles(2 * SHARD_ARBITRATION_CYCLES + 1 + 97));
+        assert_eq!(shard.dispatched(), 2);
+        assert_eq!(shard.index(), 3);
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        assert_eq!(ShieldShard::new(0, 0).lanes(), 1);
+    }
+}

@@ -260,6 +260,22 @@ pub fn parallel_batch_cost(cfg: &EngineSetConfig, chunk_lens: &[usize], lanes: u
     }
 }
 
+/// Cycles the multi-tenant service's shard arbiter charges for picking
+/// and dequeuing one request (compare shard clocks, pop the head, route
+/// to the tenant's engine sets). A small fixed cost: the arbiter is a
+/// priority mux over per-shard head-of-line registers, not a datapath.
+pub const SHARD_ARBITRATION_CYCLES: u64 = 2;
+
+/// Logical-clock advance one dispatched service request contributes to
+/// its shard: the arbitration overhead plus the request's own busy
+/// cycles, floored at one cycle so the shard clock always makes
+/// progress (a zero-length batch must still age the shard, or the
+/// min-clock scheduler would starve every other shard).
+#[must_use]
+pub fn shard_dispatch_cost(request_busy: Cycles) -> Cycles {
+    Cycles(SHARD_ARBITRATION_CYCLES + request_busy.0.max(1))
+}
+
 /// Cost of hashing one Merkle-tree node block (the Bonsai-Merkle-Tree
 /// baseline of §5.2.2). Tree nodes are hashed by a dedicated HMAC
 /// engine; blocks are small (tens of bytes), so the per-block
@@ -418,6 +434,18 @@ mod tests {
         assert_eq!(batch.makespan(), Cycles::ZERO);
         assert_eq!(batch.serial_latency, Cycles::ZERO);
         assert!((batch.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_dispatch_always_advances_the_clock() {
+        assert_eq!(
+            shard_dispatch_cost(Cycles::ZERO),
+            Cycles(SHARD_ARBITRATION_CYCLES + 1)
+        );
+        assert_eq!(
+            shard_dispatch_cost(Cycles(100)),
+            Cycles(SHARD_ARBITRATION_CYCLES + 100)
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ use shef_core::shield::engine::{AccessMode, EngineSet};
 use shef_core::shield::merkle::MerkleConfig;
 use shef_core::shield::regif::RegisterInterface;
 use shef_core::shield::stream::{StreamEndpoint, StreamFrame};
-use shef_core::shield::{client, DataEncryptionKey, WorkerPool};
+use shef_core::shield::{
+    client, Completion, DataEncryptionKey, RequestId, ServiceConfig, ServiceRequest, ShieldConfig,
+    ShieldService, TenantId, WorkerPool,
+};
 use shef_core::ShefError;
 use shef_crypto::authenc::MacAlgorithm;
 use shef_fpga::clock::CostLedger;
@@ -195,11 +198,17 @@ pub enum FaultClass {
     LanePanicSticky,
     /// Adversarial poke at a monitored debug port.
     DebugPortPoke,
+    /// Drop one admitted request from the multi-tenant service queue.
+    AdmissionDrop,
+    /// Sticky lane panic inside one tenant's service shard.
+    ShardPanic,
+    /// Abort one tenant mid-batch while its requests are queued.
+    TenantAbort,
 }
 
 impl FaultClass {
     /// Every fault class, in campaign sweep order.
-    pub const ALL: [FaultClass; 10] = [
+    pub const ALL: [FaultClass; 13] = [
         FaultClass::DramBitFlip,
         FaultClass::TagBitFlip,
         FaultClass::CiphertextSplice,
@@ -210,6 +219,9 @@ impl FaultClass {
         FaultClass::LanePanic,
         FaultClass::LanePanicSticky,
         FaultClass::DebugPortPoke,
+        FaultClass::AdmissionDrop,
+        FaultClass::ShardPanic,
+        FaultClass::TenantAbort,
     ];
 
     /// The memory-datapath classes (drivable by an LCG trace).
@@ -236,6 +248,9 @@ impl FaultClass {
             FaultClass::LanePanic => "lane_panic",
             FaultClass::LanePanicSticky => "lane_panic_sticky",
             FaultClass::DebugPortPoke => "debug_port_poke",
+            FaultClass::AdmissionDrop => "admission_drop",
+            FaultClass::ShardPanic => "shard_panic",
+            FaultClass::TenantAbort => "tenant_abort",
         }
     }
 
@@ -252,6 +267,9 @@ impl FaultClass {
             FaultClass::RegisterTamper => InjectionPoint::ShieldRegif,
             FaultClass::LanePanic | FaultClass::LanePanicSticky => InjectionPoint::ShieldPool,
             FaultClass::DebugPortPoke => InjectionPoint::DebugPorts,
+            FaultClass::AdmissionDrop | FaultClass::ShardPanic | FaultClass::TenantAbort => {
+                InjectionPoint::ShieldService
+            }
         }
     }
 
@@ -275,10 +293,14 @@ impl FaultClass {
 
     /// Whether the class needs the worker pool (the serial path has no
     /// lanes to kill, so these faults are structurally [`Verdict::Masked`]
-    /// there).
+    /// there). [`FaultClass::ShardPanic`] also qualifies: it kills a
+    /// lane inside a service shard's pool.
     #[must_use]
     pub fn uses_pool(self) -> bool {
-        matches!(self, FaultClass::LanePanic | FaultClass::LanePanicSticky)
+        matches!(
+            self,
+            FaultClass::LanePanic | FaultClass::LanePanicSticky | FaultClass::ShardPanic
+        )
     }
 }
 
@@ -299,6 +321,8 @@ pub enum InjectionPoint {
     ShieldRegif,
     /// `shield::pool` — worker lanes of the parallel datapath.
     ShieldPool,
+    /// `shield::service` — the multi-tenant admission queue and shards.
+    ShieldService,
 }
 
 impl InjectionPoint {
@@ -313,6 +337,7 @@ impl InjectionPoint {
             InjectionPoint::ShieldStream => "shield::stream.recv",
             InjectionPoint::ShieldRegif => "shield::regif.host",
             InjectionPoint::ShieldPool => "shield::pool.lane",
+            InjectionPoint::ShieldService => "shield::service.queue",
         }
     }
 }
@@ -1122,11 +1147,474 @@ fn run_debug_port_plan(plan: &FaultPlan) -> ScenarioReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-tenant service scenarios
+// ---------------------------------------------------------------------
+
+/// Chunks usable by a service trace; the last chunk of the region is
+/// reserved for the post-fault recovery probe.
+const SERVICE_USABLE_CHUNKS: u64 = NUM_CHUNKS - 1;
+const SERVICE_PROBE_CHUNK: u64 = NUM_CHUNKS - 1;
+
+/// One planned service request plus the payload a correct run must
+/// return for it (reads carry the plaintext the per-tenant FIFO order
+/// guarantees; writes and flushes complete with no payload).
+struct PlannedRequest {
+    request: ServiceRequest,
+    is_read: bool,
+    expect: Option<Vec<u8>>,
+}
+
+/// Full-chunk request trace for one tenant: starts with a write + read
+/// of the same chunk (so every trace has at least one read to target),
+/// then mixes writes, reads of previously written chunks, and flushes.
+/// The expected payloads are simulated sequentially, which is exactly
+/// the per-tenant FIFO order the service guarantees.
+fn service_trace(rng: &mut Lcg, ops: usize) -> Vec<PlannedRequest> {
+    let chunk_data =
+        |fill: u8| -> Vec<u8> { (0..CHUNK).map(|j| fill.wrapping_add(j as u8)).collect() };
+    let addr = |chunk: u64| REGION_BASE + chunk * CHUNK as u64;
+    // BTreeMap: `keys()` feeds read-target selection, which must be
+    // deterministic across processes.
+    let mut model: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+    let mut out = Vec::with_capacity(ops.max(2));
+    let first = rng.below(SERVICE_USABLE_CHUNKS);
+    let data = chunk_data(rng.below(256) as u8);
+    model.insert(first, data.clone());
+    out.push(PlannedRequest {
+        request: ServiceRequest::Write {
+            addr: addr(first),
+            data,
+            mode: AccessMode::Streaming,
+        },
+        is_read: false,
+        expect: None,
+    });
+    out.push(PlannedRequest {
+        request: ServiceRequest::Read {
+            addr: addr(first),
+            len: CHUNK,
+            mode: AccessMode::Streaming,
+        },
+        is_read: true,
+        expect: Some(model[&first].clone()),
+    });
+    while out.len() < ops.max(2) {
+        let kind = rng.below(100);
+        if kind < 50 {
+            let chunk = rng.below(SERVICE_USABLE_CHUNKS);
+            let data = chunk_data(rng.below(256) as u8);
+            model.insert(chunk, data.clone());
+            out.push(PlannedRequest {
+                request: ServiceRequest::Write {
+                    addr: addr(chunk),
+                    data,
+                    mode: AccessMode::Streaming,
+                },
+                is_read: false,
+                expect: None,
+            });
+        } else if kind < 90 {
+            let written: Vec<u64> = model.keys().copied().collect();
+            let chunk = written[rng.below(written.len() as u64) as usize];
+            out.push(PlannedRequest {
+                request: ServiceRequest::Read {
+                    addr: addr(chunk),
+                    len: CHUNK,
+                    mode: AccessMode::Streaming,
+                },
+                is_read: true,
+                expect: Some(model[&chunk].clone()),
+            });
+        } else {
+            out.push(PlannedRequest {
+                request: ServiceRequest::Flush,
+                is_read: false,
+                expect: None,
+            });
+        }
+    }
+    out
+}
+
+/// The Shield config every campaign tenant runs: same region geometry
+/// as the engine-set scenarios, scheme-selected replay defence.
+fn service_shield_config(scheme: Scheme) -> ShieldConfig {
+    let (counters, merkle) = match scheme {
+        Scheme::MacOnly => (false, None),
+        Scheme::Counters => (true, None),
+        Scheme::Merkle => (
+            false,
+            Some(MerkleConfig {
+                arity: 4,
+                node_cache_bytes: 512,
+            }),
+        ),
+    };
+    ShieldConfig::builder()
+        .region(
+            "fault",
+            MemRange::new(REGION_BASE, REGION_LEN),
+            EngineSetConfig {
+                chunk_size: CHUNK,
+                buffer_bytes: CHUNK * BUFFER_LINES,
+                counters,
+                merkle,
+                ..EngineSetConfig::default()
+            },
+        )
+        .build()
+        .expect("service campaign config is valid")
+}
+
+/// Drives a full victim + bystander round trip on the probe chunk and
+/// reports whether the service still serves the tenant correctly.
+fn service_probe(service: &mut ShieldService, tenant: TenantId) -> Result<(), String> {
+    let addr = REGION_BASE + SERVICE_PROBE_CHUNK * CHUNK as u64;
+    let data = vec![0x7Du8; CHUNK];
+    let write = service
+        .submit(
+            tenant,
+            ServiceRequest::Write {
+                addr,
+                data: data.clone(),
+                mode: AccessMode::Streaming,
+            },
+        )
+        .map_err(|e| format!("probe write refused: {e}"))?;
+    let read = service
+        .submit(
+            tenant,
+            ServiceRequest::Read {
+                addr,
+                len: CHUNK,
+                mode: AccessMode::Streaming,
+            },
+        )
+        .map_err(|e| format!("probe read refused: {e}"))?;
+    let completions = service.drain();
+    for want in [write, read] {
+        match completions.iter().find(|c| c.request == want) {
+            None => return Err("probe request lost".into()),
+            Some(c) => match &c.payload {
+                Ok(Some(bytes)) if c.request == read && *bytes != data => {
+                    return Err("probe read returned wrong bytes".into())
+                }
+                Ok(_) => {}
+                Err(e) => return Err(format!("probe request failed: {e}")),
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Checks one tenant's completions against its planned trace: every
+/// request must complete, and — unless `skip_after_error` relaxes the
+/// content check past a surfaced fault — every successful read must
+/// return the FIFO-ordered expected plaintext.
+fn check_tenant_completions(
+    who: &str,
+    planned: &[(RequestId, usize)],
+    trace: &[PlannedRequest],
+    completions: &[Completion],
+    allow: &dyn Fn(&ShefError) -> bool,
+    skip_after_error: bool,
+) -> Result<usize, ScenarioReport> {
+    let mut errors = 0usize;
+    for &(id, idx) in planned {
+        let Some(c) = completions.iter().find(|c| c.request == id) else {
+            return Err(ScenarioReport {
+                verdict: Verdict::Hang,
+                probe: None,
+                detail: format!("{who} request {idx} admitted but never completed"),
+            });
+        };
+        match &c.payload {
+            Ok(payload) => {
+                if errors > 0 && skip_after_error {
+                    continue;
+                }
+                if trace[idx].is_read && payload.as_deref() != trace[idx].expect.as_deref() {
+                    return Err(ScenarioReport::forbidden(format!(
+                        "{who} read {idx} returned wrong bytes without an error"
+                    )));
+                }
+            }
+            Err(e) if allow(e) => errors += 1,
+            Err(e) => {
+                return Err(ScenarioReport::forbidden(format!(
+                    "unexpected error kind on {who} request {idx}: {e}"
+                )))
+            }
+        }
+    }
+    Ok(errors)
+}
+
+/// Runs a multi-tenant [`ShieldService`] scenario: a victim and a
+/// bystander tenant (on different shards) each submit a full request
+/// trace; the fault is injected at the service layer — an admitted
+/// request dropped from the queue, a sticky lane panic inside the
+/// victim's shard, or a mid-batch tenant abort. The contract: every
+/// admitted request still completes (no starvation), the fault surfaces
+/// as an explicit error on the victim only, and the bystander's trace
+/// is byte-exact throughout.
+fn run_service_plan(plan: &FaultPlan, ev: &FaultEvent) -> ScenarioReport {
+    let lanes = plan.path.lanes();
+    let master = DataEncryptionKey::from_bytes([0x5Fu8; 32]);
+    let config = ServiceConfig {
+        shards: 2,
+        lanes_per_shard: lanes,
+        queue_capacity: 4 * DEFAULT_OPS,
+        tenant_quota: 2 * DEFAULT_OPS,
+    };
+    let mut service = match ShieldService::new(config, master) {
+        Ok(s) => s,
+        Err(e) => return ScenarioReport::forbidden(format!("service construction failed: {e}")),
+    };
+    let mut tenants = Vec::new();
+    for name in ["victim", "bystander"] {
+        match service.register_tenant(name, service_shield_config(plan.scheme)) {
+            Ok(id) => tenants.push(id),
+            Err(e) => return ScenarioReport::forbidden(format!("tenant registration failed: {e}")),
+        }
+    }
+    let (victim, bystander) = (tenants[0], tenants[1]);
+
+    // Same per-tenant trace shape, independently seeded.
+    let mut rng = Lcg(plan
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(3));
+    let victim_trace = service_trace(&mut rng, plan.ops);
+    let bystander_trace = service_trace(&mut rng, plan.ops);
+
+    // Interleaved admission; remember every (RequestId, trace index).
+    let mut victim_ids: Vec<(RequestId, usize)> = Vec::new();
+    let mut bystander_ids: Vec<(RequestId, usize)> = Vec::new();
+    for i in 0..victim_trace.len().max(bystander_trace.len()) {
+        for (tenant, trace, ids) in [
+            (victim, &victim_trace, &mut victim_ids),
+            (bystander, &bystander_trace, &mut bystander_ids),
+        ] {
+            if let Some(planned) = trace.get(i) {
+                match service.submit(tenant, planned.request.clone()) {
+                    Ok(id) => ids.push((id, i)),
+                    Err(e) => {
+                        return ScenarioReport::forbidden(format!("clean submission rejected: {e}"))
+                    }
+                }
+            }
+        }
+    }
+
+    // Inject the service-layer fault while the queue is full.
+    let mut dropped: Option<RequestId> = None;
+    match ev.class {
+        FaultClass::AdmissionDrop => {
+            let reads: Vec<RequestId> = victim_ids
+                .iter()
+                .filter(|&&(_, idx)| victim_trace[idx].is_read)
+                .map(|&(id, _)| id)
+                .collect();
+            let target = reads[ev.at_op % reads.len()];
+            if !service.inject_queue_drop(target) {
+                return ScenarioReport {
+                    verdict: Verdict::Masked,
+                    probe: None,
+                    detail: "drop target was not queued".into(),
+                };
+            }
+            dropped = Some(target);
+        }
+        FaultClass::ShardPanic => {
+            let shard = service.tenant_shard(victim);
+            service
+                .shard(shard)
+                .pool()
+                .arm_lane_panic_sticky((ev.byte % 4) as u64);
+        }
+        FaultClass::TenantAbort => service.abort_tenant(victim),
+        _ => unreachable!("non-service class in a service scenario"),
+    }
+
+    let completions = service.drain();
+    let admitted = victim_ids.len() + bystander_ids.len();
+    if completions.len() != admitted {
+        return ScenarioReport {
+            verdict: Verdict::Hang,
+            probe: None,
+            detail: format!(
+                "{} of {admitted} admitted requests completed",
+                completions.len()
+            ),
+        };
+    }
+
+    // The bystander shares nothing with the victim but the service: its
+    // whole trace must be clean and byte-exact no matter the fault.
+    if let Err(report) = check_tenant_completions(
+        "bystander",
+        &bystander_ids,
+        &bystander_trace,
+        &completions,
+        &|_| false,
+        false,
+    ) {
+        return ScenarioReport::forbidden(format!(
+            "isolation breach ({}): {}",
+            ev.class.as_str(),
+            report.detail
+        ));
+    }
+
+    match ev.class {
+        FaultClass::AdmissionDrop => {
+            let target = dropped.expect("drop armed above");
+            let c = completions
+                .iter()
+                .find(|c| c.request == target)
+                .expect("counted above");
+            match &c.payload {
+                Err(ShefError::Fault(ShieldFault::QueueDrop { tenant }))
+                    if tenant.as_str() == "victim" => {}
+                other => {
+                    return ScenarioReport::forbidden(format!(
+                        "dropped request completed as {other:?} instead of a queue-drop fault"
+                    ))
+                }
+            }
+            // Every *other* victim request is untouched by the drop.
+            let rest: Vec<(RequestId, usize)> = victim_ids
+                .iter()
+                .copied()
+                .filter(|&(id, _)| id != target)
+                .collect();
+            if let Err(report) = check_tenant_completions(
+                "victim",
+                &rest,
+                &victim_trace,
+                &completions,
+                &|_| false,
+                false,
+            ) {
+                return report;
+            }
+            ScenarioReport {
+                verdict: Verdict::Drained,
+                probe: None,
+                detail: "queue drop surfaced explicitly; rest of the batch unaffected".into(),
+            }
+        }
+        FaultClass::ShardPanic => {
+            let errors = match check_tenant_completions(
+                "victim",
+                &victim_ids,
+                &victim_trace,
+                &completions,
+                &|e| matches!(e, ShefError::Fault(ShieldFault::LanePanic { .. })),
+                true,
+            ) {
+                Ok(n) => n,
+                Err(report) => return report,
+            };
+            service
+                .shard(service.tenant_shard(victim))
+                .pool()
+                .disarm_lane_panic();
+            // A panic on a seal job is absorbed inline by the engine
+            // (the victim seal still lands, no error surfaces); only a
+            // panic on an unseal job errors the request. Both are the
+            // drain contract — Masked is reserved for a panic that
+            // never fired at all.
+            let (panics, drained_seals) = service
+                .tenant_shield(victim)
+                .engine_stats()
+                .iter()
+                .fold((0u64, 0u64), |(p, d), (_, s)| {
+                    (p + s.lane_panics, d + s.drained_seals)
+                });
+            if errors == 0 && panics == 0 {
+                return ScenarioReport {
+                    verdict: Verdict::Masked,
+                    probe: None,
+                    detail: "armed shard panic never fired".into(),
+                };
+            }
+            if errors == 0 && drained_seals == 0 {
+                return ScenarioReport::forbidden(
+                    "shard panic fired but neither errored nor drained a seal".to_string(),
+                );
+            }
+            match service_probe(&mut service, victim) {
+                Ok(()) => ScenarioReport {
+                    verdict: Verdict::Drained,
+                    probe: Some(Verdict::Drained),
+                    detail: format!(
+                        "{errors} request(s) failed fast, {drained_seals} seal(s) drained inline; \
+                         shard recovered"
+                    ),
+                },
+                Err(e) => {
+                    ScenarioReport::forbidden(format!("victim not drained after shard panic: {e}"))
+                }
+            }
+        }
+        FaultClass::TenantAbort => {
+            for &(id, idx) in &victim_ids {
+                let c = completions
+                    .iter()
+                    .find(|c| c.request == id)
+                    .expect("counted above");
+                match &c.payload {
+                    Err(ShefError::Fault(ShieldFault::TenantAborted { tenant }))
+                        if tenant.as_str() == "victim" => {}
+                    other => {
+                        return ScenarioReport::forbidden(format!(
+                            "aborted tenant's request {idx} completed as {other:?}"
+                        ))
+                    }
+                }
+            }
+            // Containment: new submissions stay fail-stopped until the
+            // abort is cleared, then the tenant is fully readmitted.
+            if !matches!(
+                service.submit(
+                    victim,
+                    ServiceRequest::Read {
+                        addr: REGION_BASE,
+                        len: 1,
+                        mode: AccessMode::Streaming,
+                    },
+                ),
+                Err(ShefError::Fault(ShieldFault::TenantAborted { .. }))
+            ) {
+                return ScenarioReport::forbidden(
+                    "post-abort submission was not fail-stopped".to_string(),
+                );
+            }
+            service.clear_abort(victim);
+            match service_probe(&mut service, victim) {
+                Ok(()) => ScenarioReport {
+                    verdict: Verdict::Poisoned,
+                    probe: Some(Verdict::Poisoned),
+                    detail: "mid-batch abort fail-stopped the whole batch; readmitted after clear"
+                        .into(),
+                },
+                Err(e) => ScenarioReport::forbidden(format!(
+                    "tenant not readmitted after abort cleared: {e}"
+                )),
+            }
+        }
+        _ => unreachable!("non-service class in a service scenario"),
+    }
+}
+
 /// Runs one plan to a verdict (see the module docs for the scenario
 /// families). Plans whose events are all memory-class (or empty) run
-/// the full LCG trace against twin engine sets; wire, register and
-/// debug-port plans run their own protocol exchanges keyed off the
-/// first event.
+/// the full LCG trace against twin engine sets; wire, register,
+/// debug-port and multi-tenant service plans run their own protocol
+/// exchanges keyed off the first event.
 #[must_use]
 pub fn run_plan(plan: &FaultPlan) -> ScenarioReport {
     match plan.events.first() {
@@ -1139,6 +1627,9 @@ pub fn run_plan(plan: &FaultPlan) -> ScenarioReport {
             FaultClass::WireTruncate | FaultClass::WireCorrupt => run_wire_plan(plan, ev),
             FaultClass::RegisterTamper => run_register_plan(plan, ev),
             FaultClass::DebugPortPoke => run_debug_port_plan(plan),
+            FaultClass::AdmissionDrop | FaultClass::ShardPanic | FaultClass::TenantAbort => {
+                run_service_plan(plan, ev)
+            }
             _ => unreachable!("memory-class plans handled above"),
         },
     }

@@ -1,0 +1,312 @@
+//! Cross-tenant isolation of the multi-tenant `ShieldService`: three
+//! contracts a co-tenant must never be able to break.
+//!
+//! 1. **Plaintext non-leakage** — tenant A's plaintext never appears in
+//!    tenant B's completions, nor anywhere in either tenant's
+//!    adversary-visible DRAM.
+//! 2. **Key-domain separation** — the same plaintext at the same
+//!    address encrypts to different ciphertext and different tags under
+//!    different tenants, because each tenant's working keys live in an
+//!    HKDF domain derived from its name.
+//! 3. **Failure containment** — tampering that poisons tenant A's
+//!    engine sets fail-stops *A only*; tenant B's requests neither
+//!    reject nor stall, and A is readmitted once its poison is cleared.
+
+use shef_core::fault::ShieldFault;
+use shef_core::shield::engine::AccessMode;
+use shef_core::shield::{
+    DataEncryptionKey, EngineSetConfig, MemRange, RequestId, ServiceConfig, ServiceRequest,
+    ShieldConfig, ShieldService, TenantId,
+};
+use shef_core::ShefError;
+
+const REGION_BASE: u64 = 0x1000;
+const CHUNK: usize = 512;
+const NUM_CHUNKS: u64 = 8;
+const REGION_LEN: u64 = CHUNK as u64 * NUM_CHUNKS;
+
+fn tenant_config() -> ShieldConfig {
+    ShieldConfig::builder()
+        .region(
+            "data",
+            MemRange::new(REGION_BASE, REGION_LEN),
+            EngineSetConfig {
+                chunk_size: CHUNK,
+                buffer_bytes: CHUNK * 2,
+                ..EngineSetConfig::default()
+            },
+        )
+        .build()
+        .expect("valid config")
+}
+
+fn service_with(names: &[&str]) -> (ShieldService, Vec<TenantId>) {
+    let mut service = ShieldService::new(
+        ServiceConfig {
+            shards: 2,
+            lanes_per_shard: 2,
+            queue_capacity: 64,
+            tenant_quota: 32,
+        },
+        DataEncryptionKey::from_bytes([0x61u8; 32]),
+    )
+    .expect("service constructs");
+    let ids = names
+        .iter()
+        .map(|n| {
+            service
+                .register_tenant(n, tenant_config())
+                .expect("tenant registers")
+        })
+        .collect();
+    (service, ids)
+}
+
+fn write_req(chunk: u64, data: Vec<u8>) -> ServiceRequest {
+    ServiceRequest::Write {
+        addr: REGION_BASE + chunk * CHUNK as u64,
+        data,
+        mode: AccessMode::Streaming,
+    }
+}
+
+fn read_req(chunk: u64) -> ServiceRequest {
+    ServiceRequest::Read {
+        addr: REGION_BASE + chunk * CHUNK as u64,
+        len: CHUNK,
+        mode: AccessMode::Streaming,
+    }
+}
+
+/// Whether `needle` occurs anywhere in `haystack`.
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|window| window == needle)
+}
+
+/// Tenant A's plaintext shows up in A's own completions and nowhere
+/// else: not in B's completions for the same address, and not in
+/// either tenant's raw (adversary-visible) DRAM.
+#[test]
+fn plaintext_never_leaks_across_tenant_views() {
+    let (mut service, ids) = service_with(&["alpha", "beta"]);
+    let (a, b) = (ids[0], ids[1]);
+    let secret = b"TOP-SECRET-GENOME-FRAGMENT-0xA5".repeat(17)[..CHUNK].to_vec();
+    let b_data = vec![0x11u8; CHUNK];
+
+    service
+        .submit(a, write_req(0, secret.clone()))
+        .expect("admitted");
+    service.submit(a, ServiceRequest::Flush).expect("admitted");
+    service
+        .submit(b, write_req(0, b_data.clone()))
+        .expect("admitted");
+    service.submit(b, read_req(0)).expect("admitted");
+    let completions = service.drain();
+
+    for c in &completions {
+        let payload = c.payload.as_ref().expect("clean run");
+        if c.tenant == b {
+            if let Some(bytes) = payload {
+                assert_eq!(bytes, &b_data, "B reads its own data at the shared address");
+                assert!(
+                    !contains(bytes, &secret[..32]),
+                    "A's plaintext leaked into B's completion"
+                );
+            }
+        }
+    }
+
+    // The adversary (Shell / co-tenant with physical DRAM access) sees
+    // only ciphertext: the secret appears in neither DRAM image.
+    for &tenant in &[a, b] {
+        let image = service
+            .tenant_dram(tenant)
+            .tamper_read(REGION_BASE, REGION_LEN as usize);
+        assert!(
+            !contains(&image, &secret[..32]),
+            "plaintext visible in raw DRAM of tenant {tenant:?}"
+        );
+    }
+}
+
+/// Same address, same plaintext, different tenants: ciphertext and
+/// tags must differ, proving the per-tenant HKDF key domains really
+/// separate the working keys.
+#[test]
+fn tenant_key_domains_separate_ciphertext_and_tags() {
+    let (mut service, ids) = service_with(&["alpha", "beta"]);
+    let data = vec![0xC3u8; CHUNK];
+    for &tenant in &ids {
+        service
+            .submit(tenant, write_req(0, data.clone()))
+            .expect("admitted");
+        service
+            .submit(tenant, ServiceRequest::Flush)
+            .expect("admitted");
+    }
+    for c in service.drain() {
+        c.payload.expect("clean run");
+    }
+    let tag_base = tenant_config().tag_base(0);
+    let ct_a = service.tenant_dram(ids[0]).tamper_read(REGION_BASE, CHUNK);
+    let tags_a = service.tenant_dram(ids[0]).tamper_read(tag_base, 16);
+    let ct_b = service.tenant_dram(ids[1]).tamper_read(REGION_BASE, CHUNK);
+    let tags_b = service.tenant_dram(ids[1]).tamper_read(tag_base, 16);
+    assert_ne!(ct_a, ct_b, "tenant key domains must not collide");
+    assert_ne!(tags_a, tags_b, "tenant MAC domains must not collide");
+    assert_ne!(ct_a, data, "ciphertext, not plaintext, in DRAM");
+    assert_ne!(ct_b, data, "ciphertext, not plaintext, in DRAM");
+}
+
+/// The derived tenant keys are deterministic: re-registering the same
+/// tenant name in a fresh service reproduces the exact ciphertext.
+#[test]
+fn tenant_key_domains_are_deterministic_across_services() {
+    let image = |()| {
+        let (mut service, ids) = service_with(&["alpha"]);
+        service
+            .submit(ids[0], write_req(0, vec![0x3Cu8; CHUNK]))
+            .expect("admitted");
+        service
+            .submit(ids[0], ServiceRequest::Flush)
+            .expect("admitted");
+        for c in service.drain() {
+            c.payload.expect("clean run");
+        }
+        service.tenant_dram(ids[0]).tamper_read(REGION_BASE, CHUNK)
+    };
+    assert_eq!(image(()), image(()), "same name, same master, same bytes");
+}
+
+/// Poisoning tenant A's engine set (via tampered DRAM) fail-stops A
+/// alone: B's in-flight and follow-up requests all succeed, A reports
+/// its poisoned region, and clearing the poison readmits A.
+#[test]
+fn poisoned_tenant_does_not_reject_or_stall_others() {
+    let (mut service, ids) = service_with(&["alpha", "beta"]);
+    let (a, b) = (ids[0], ids[1]);
+
+    // Seed both tenants, flush so chunk 0 is DRAM-resident.
+    for &tenant in &[a, b] {
+        service
+            .submit(tenant, write_req(0, vec![0x77u8; CHUNK]))
+            .expect("admitted");
+        service
+            .submit(tenant, ServiceRequest::Flush)
+            .expect("admitted");
+    }
+    for c in service.drain() {
+        c.payload.expect("clean seed phase");
+    }
+
+    // Adversary flips a ciphertext bit in A's DRAM only.
+    let mut byte = service.tenant_dram(a).tamper_read(REGION_BASE, 1);
+    byte[0] ^= 0x80;
+    service.tenant_dram(a).tamper_write(REGION_BASE, &byte);
+
+    // Interleave a victim read with bystander traffic.
+    let a_read = service.submit(a, read_req(0)).expect("admitted");
+    let mut b_reqs: Vec<RequestId> = Vec::new();
+    for _ in 0..4 {
+        b_reqs.push(service.submit(b, read_req(0)).expect("admitted"));
+    }
+    let a_after: RequestId = service.submit(a, read_req(0)).expect("admitted");
+    let completions = service.drain();
+    assert_eq!(completions.len(), 6, "nobody starves");
+
+    // A's tampered read is detected; A's next access is fail-stopped by
+    // the poisoned engine set.
+    let payload_of = |id: RequestId| {
+        &completions
+            .iter()
+            .find(|c| c.request == id)
+            .expect("completed")
+            .payload
+    };
+    assert!(
+        matches!(payload_of(a_read), Err(ShefError::IntegrityViolation(_))),
+        "tampered chunk must be detected: {:?}",
+        payload_of(a_read)
+    );
+    assert!(
+        matches!(
+            payload_of(a_after),
+            Err(ShefError::Fault(ShieldFault::Poisoned { .. }))
+        ),
+        "post-detection access must be fail-stopped: {:?}",
+        payload_of(a_after)
+    );
+
+    // B is untouched: every bystander read succeeded with its own data.
+    for id in b_reqs {
+        match payload_of(id) {
+            Ok(Some(bytes)) => assert_eq!(bytes, &vec![0x77u8; CHUNK]),
+            other => panic!("bystander request failed during A's poisoning: {other:?}"),
+        }
+    }
+
+    // The poison is visible, scoped to A, and clearable.
+    assert_eq!(service.tenant_shield(a).poisoned_regions(), vec!["data"]);
+    assert!(service.tenant_shield(b).poisoned_regions().is_empty());
+    service.tenant_shield(a).clear_poison();
+
+    // Repair A's DRAM (undo the flip) and verify A is readmitted.
+    let mut byte = service.tenant_dram(a).tamper_read(REGION_BASE, 1);
+    byte[0] ^= 0x80;
+    service.tenant_dram(a).tamper_write(REGION_BASE, &byte);
+    let again = service.submit(a, read_req(0)).expect("admitted");
+    let completions = service.drain();
+    match &completions
+        .iter()
+        .find(|c| c.request == again)
+        .expect("completed")
+        .payload
+    {
+        Ok(Some(bytes)) => assert_eq!(bytes, &vec![0x77u8; CHUNK]),
+        other => panic!("A not readmitted after clearing poison: {other:?}"),
+    }
+}
+
+/// An aborted tenant's buffered state stays private and bounded: the
+/// bystander keeps full throughput while the victim's buffered bytes
+/// are still accounted to the victim's own engine set.
+#[test]
+fn abort_containment_keeps_bystander_throughput() {
+    let (mut service, ids) = service_with(&["alpha", "beta"]);
+    let (a, b) = (ids[0], ids[1]);
+    service
+        .submit(a, write_req(0, vec![0x55u8; CHUNK]))
+        .expect("admitted");
+    service
+        .submit(b, write_req(0, vec![0x66u8; CHUNK]))
+        .expect("admitted");
+    service.submit(b, read_req(0)).expect("admitted");
+    service.abort_tenant(a);
+    let completions = service.drain();
+    assert_eq!(completions.len(), 3, "nobody starves under an abort");
+    for c in &completions {
+        if c.tenant == a {
+            assert!(
+                matches!(
+                    &c.payload,
+                    Err(ShefError::Fault(ShieldFault::TenantAborted { .. }))
+                ),
+                "aborted tenant's request must fail-stop: {:?}",
+                c.payload
+            );
+        } else {
+            c.payload.as_ref().expect("bystander unaffected");
+        }
+    }
+    // The aborted write never executed, so A buffered nothing; B's
+    // write is (or was) buffered in B's own engine set only.
+    let a_buffered: u64 = service
+        .tenant_shield(a)
+        .engine_stats()
+        .iter()
+        .map(|(_, s)| s.bytes_written)
+        .sum();
+    assert_eq!(a_buffered, 0, "aborted work must not touch the datapath");
+}

@@ -5,8 +5,9 @@
 //! * [`crypto`] — from-scratch cryptographic primitives.
 //! * [`fpga`] — the simulated cloud-FPGA platform (device, Shell, DRAM,
 //!   host).
-//! * [`core`] — ShEF itself: secure boot, remote attestation, and the
-//!   customizable Shield.
+//! * [`core`] — ShEF itself: secure boot, remote attestation, the
+//!   customizable Shield, and the multi-tenant service runtime
+//!   (`core::shield::service`: sharded dispatch + admission control).
 //! * [`accel`] — the six evaluation accelerators from the paper.
 //! * [`telemetry`] — deterministic metrics registry, datapath tracing,
 //!   and the exported run report (see the `README.md` "Observability"
