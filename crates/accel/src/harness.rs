@@ -657,7 +657,9 @@ fn run_shielded_service_impl(
         shef_crypto::drbg::HmacDrbg::from_seed(format!("harness.service.master.{seed}").as_bytes())
             .generate_array::<32>(),
     );
-    let mut service = ShieldService::new(service_config.clone(), master.clone())?;
+    let mut env =
+        shef_attest::AttestationEnvironment::new(format!("harness.service.{seed}").as_bytes())?;
+    let mut service = ShieldService::new(service_config.clone(), env.verifier_public())?;
     if let Some(telemetry) = telemetry {
         service.attach_telemetry(telemetry);
     }
@@ -673,7 +675,8 @@ fn run_shielded_service_impl(
         let accel = make_accel();
         let config = accel.shield_config(profile);
         config.validate()?;
-        let id = service.register_tenant(&name, config)?;
+        let grant = env.onboard(&name, master.tenant_key(&name).to_bytes())?;
+        let id = service.register_tenant(&name, config, &grant)?;
         let dek = master.tenant_key(&name);
         for input in accel.inputs() {
             let (shield, shell, dram, ledger) = service.tenant_datapath(id);

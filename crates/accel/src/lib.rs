@@ -20,7 +20,17 @@
 //! The [`harness`] module provisions inputs, runs a kernel shielded and
 //! unshielded, verifies outputs, and reports modelled execution time —
 //! the machinery behind every table and figure regenerator in
-//! `shef-bench`.
+//! `shef-bench`:
+//!
+//! ```
+//! use shef_accel::harness::run_shielded;
+//! use shef_accel::vecadd::VectorAdd;
+//! use shef_accel::CryptoProfile;
+//!
+//! let mut accel = VectorAdd::new(2048, 1); // one 2 KB stripe per vector
+//! let report = run_shielded(&mut accel, &CryptoProfile::AES128_16X, 1).expect("runs");
+//! assert!(report.outputs_verified, "shielded output matches the golden model");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

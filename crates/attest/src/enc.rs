@@ -1,0 +1,50 @@
+//! Canonical length-prefixed byte encoding for protocol messages.
+//!
+//! The attestation artifacts (quotes, certificates, tickets) travel
+//! through the untrusted host, so each has exactly one byte encoding:
+//! fixed-width fields raw, variable fields with a `u32` big-endian
+//! length prefix. KAT transcript tests pin the encodings byte-for-byte.
+
+use crate::AttestError;
+
+/// Appends a length-prefixed variable field.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed variable field, advancing `input`.
+pub fn take_bytes<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], AttestError> {
+    let len_bytes: [u8; 4] = input
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| AttestError::Malformed("truncated length prefix".into()))?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    let body = input
+        .get(4..4 + len)
+        .ok_or_else(|| AttestError::Malformed("truncated variable field".into()))?;
+    *input = &input[4 + len..];
+    Ok(body)
+}
+
+/// Reads a fixed-width field, advancing `input`.
+pub fn take_array<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], AttestError> {
+    let arr: [u8; N] = input
+        .get(..N)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| AttestError::Malformed("truncated fixed field".into()))?;
+    *input = &input[N..];
+    Ok(arr)
+}
+
+/// Checks that a parse consumed its whole input.
+pub fn expect_end(input: &[u8]) -> Result<(), AttestError> {
+    if input.is_empty() {
+        Ok(())
+    } else {
+        Err(AttestError::Malformed(format!(
+            "{} trailing bytes after message",
+            input.len()
+        )))
+    }
+}

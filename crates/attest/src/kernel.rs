@@ -1,0 +1,372 @@
+//! The measured Security Kernel: quote issuance and ticket redemption.
+//!
+//! The kernel is the on-device end of the attestation protocol. The SPB
+//! boots it measured and hands it an [`AttestationRoot`]; from there it
+//! is a two-state machine:
+//!
+//! ```text
+//!            load_shield_bitstream(label, image)
+//!   ┌───────┐ ──────────────────────────────────▶ ┌─────────────┐
+//!   │ Reset │                                     │ Operational │──┐
+//!   └───────┘                                     └─────────────┘  │
+//!       │                                            ▲    │  load_shield_bitstream
+//!       │ quote / redeem → AttestError::State        └────┘  (extends the chain,
+//!       ▼                                                     re-derives the AK)
+//!     reject
+//! ```
+//!
+//! In `Operational` the kernel holds an Attestation Key derived from
+//! `HKDF(root ‖ measurement)` — device-bound *and* measurement-bound,
+//! so a kernel that loaded a different bitstream simply holds a
+//! different key and cannot sign convincing quotes for the good one —
+//! plus a self-issued [`AkCert`] tying the AK to the measurement under
+//! the device identity.
+//!
+//! Per verified session the kernel keeps one symmetric session key,
+//! consumed when a matching [`AttestationTicket`] is redeemed
+//! ([`SecurityKernel::redeem`], the sole constructor of
+//! [`AttestedTenant`]).
+//!
+//! # Example
+//!
+//! ```
+//! use shef_attest::kernel::{KernelState, SecurityKernel};
+//! use shef_attest::{AttestationRoot, ManufacturerCa};
+//!
+//! let ca = ManufacturerCa::from_seed(b"example-ca");
+//! let root = AttestationRoot::from_device_key(&[7u8; 32]);
+//! let cert = ca.certify_device(b"die-0001", &root);
+//! let mut kernel = SecurityKernel::new(root, b"die-0001", cert)?;
+//! assert_eq!(kernel.state(), KernelState::Reset);
+//! kernel.load_shield_bitstream("shield-bitstream", b"mock shield image");
+//! assert_eq!(kernel.state(), KernelState::Operational);
+//! # Ok::<(), shef_attest::AttestError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use shef_crypto::ecies::EciesKeyPair;
+use shef_crypto::ed25519::SigningKey;
+use shef_crypto::hkdf;
+use shef_fpga::spb::AttestationRoot;
+use shef_telemetry::{Counter, Telemetry};
+
+use crate::identity::{device_identity, AkCert, DeviceCert};
+use crate::measure::{Measurement, MeasurementChain};
+use crate::ticket::{session_key, AttestationTicket, AttestedTenant};
+use crate::verifier::{Challenge, Quote};
+use crate::AttestError;
+
+/// HKDF label for the Ed25519 (quote-signing) half of the AK.
+const AK_SIGN_LABEL: &[u8] = b"shef.attest.ak.sign.v1";
+/// HKDF label for the X25519 (key-exchange) half of the AK.
+const AK_KEM_LABEL: &[u8] = b"shef.attest.ak.kem.v1";
+
+/// Where the kernel state machine currently is (see the module docs for
+/// the transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelState {
+    /// Booted and measured, but no Shield bitstream loaded yet: the
+    /// kernel holds no Attestation Key and refuses to quote.
+    Reset,
+    /// A Shield bitstream has been measured in; the AK exists and
+    /// quotes/redemptions are served.
+    Operational,
+}
+
+/// The Attestation Key material for one measurement (rebuilt on every
+/// chain extension).
+struct AttestationKey {
+    measurement: Measurement,
+    sign: SigningKey,
+    kem: EciesKeyPair,
+    cert: AkCert,
+}
+
+/// Counters the kernel bumps when a registry is attached.
+struct KernelTelemetry {
+    quotes: Counter,
+    redeemed: Counter,
+    rejected: Counter,
+}
+
+/// The on-device Security Kernel model. See the module docs.
+pub struct SecurityKernel {
+    root: AttestationRoot,
+    device_cert: DeviceCert,
+    identity: SigningKey,
+    chain: MeasurementChain,
+    ak: Option<AttestationKey>,
+    /// Open sessions: challenge nonce → (session key, measurement at
+    /// quote time). An entry is removed only by a successful redeem.
+    sessions: BTreeMap<[u8; 32], ([u8; 32], Measurement)>,
+    tele: Option<KernelTelemetry>,
+}
+
+impl core::fmt::Debug for SecurityKernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SecurityKernel")
+            .field("state", &self.state())
+            .field("die_serial", &self.device_cert.die_serial)
+            .field("open_sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecurityKernel {
+    /// Boots the kernel from the SPB hand-off: the attestation root,
+    /// the die serial, and the Manufacturer-issued device certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::CertChain`] if `device_cert` does not
+    /// certify the identity key this device actually derives — i.e. the
+    /// certificate belongs to some other device or root.
+    pub fn new(
+        root: AttestationRoot,
+        die_serial: &[u8],
+        device_cert: DeviceCert,
+    ) -> Result<Self, AttestError> {
+        let identity = device_identity(&root, die_serial);
+        if device_cert.device_public != identity.verifying_key()
+            || device_cert.die_serial != die_serial
+        {
+            return Err(AttestError::CertChain(
+                "device certificate does not match this device's derived identity".into(),
+            ));
+        }
+        Ok(SecurityKernel {
+            root,
+            device_cert,
+            identity,
+            chain: MeasurementChain::new(),
+            ak: None,
+            sessions: BTreeMap::new(),
+            tele: None,
+        })
+    }
+
+    /// Registers `shield.attest.kernel.*` counters on `telemetry`.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele = Some(KernelTelemetry {
+            quotes: telemetry.counter("shield.attest.kernel.quotes"),
+            redeemed: telemetry.counter("shield.attest.kernel.redeemed"),
+            rejected: telemetry.counter("shield.attest.kernel.rejected"),
+        });
+    }
+
+    /// Current state-machine state.
+    #[must_use]
+    pub fn state(&self) -> KernelState {
+        if self.ak.is_some() {
+            KernelState::Operational
+        } else {
+            KernelState::Reset
+        }
+    }
+
+    /// The Manufacturer-issued device certificate carried in quotes.
+    #[must_use]
+    pub fn device_cert(&self) -> &DeviceCert {
+        &self.device_cert
+    }
+
+    /// Measures a Shield bitstream into the chain and (re)derives the
+    /// Attestation Key under the new measurement. Transitions
+    /// `Reset → Operational`; calling again extends the chain, which
+    /// models a partial-reconfiguration reload — the old AK (and any
+    /// quotes signed with it) stops matching the new measurement.
+    pub fn load_shield_bitstream(&mut self, label: &str, image: &[u8]) {
+        self.chain.extend(label, image);
+        let measurement = self.chain.current();
+        let sign_seed = hkdf::derive_key32(AK_SIGN_LABEL, &self.root.to_bytes(), &measurement.0);
+        let sign = SigningKey::from_seed(&sign_seed);
+        let kem_seed = hkdf::derive_key32(AK_KEM_LABEL, &self.root.to_bytes(), &measurement.0);
+        let kem = EciesKeyPair::from_seed(&kem_seed);
+        let cert = AkCert::issue(
+            &self.identity,
+            measurement,
+            sign.verifying_key(),
+            kem.public_key().0,
+        );
+        self.ak = Some(AttestationKey {
+            measurement,
+            sign,
+            kem,
+            cert,
+        });
+    }
+
+    /// The current measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::State`] in `Reset` (nothing measured).
+    pub fn measurement(&self) -> Result<Measurement, AttestError> {
+        self.ak
+            .as_ref()
+            .map(|ak| ak.measurement)
+            .ok_or_else(|| AttestError::State("no Shield bitstream has been measured".into()))
+    }
+
+    /// The self-issued Attestation-Key certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::State`] in `Reset`.
+    pub fn ak_cert(&self) -> Result<&AkCert, AttestError> {
+        self.ak
+            .as_ref()
+            .map(|ak| &ak.cert)
+            .ok_or_else(|| AttestError::State("no Attestation Key derived yet".into()))
+    }
+
+    /// Answers a verifier challenge with a signed quote, opening a
+    /// session keyed by the challenge nonce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::State`] in `Reset` — a kernel with no
+    /// measured bitstream has nothing to attest.
+    pub fn quote(&mut self, challenge: &Challenge) -> Result<Quote, AttestError> {
+        let Some(ak) = self.ak.as_ref() else {
+            if let Some(t) = &self.tele {
+                t.rejected.inc();
+            }
+            return Err(AttestError::State(
+                "cannot quote before a Shield bitstream is measured".into(),
+            ));
+        };
+        let shared = ak
+            .kem
+            .diffie_hellman(&shef_crypto::ecies::EciesPublicKey(challenge.verifier_kem));
+        let key = session_key(
+            &shared,
+            &challenge.nonce,
+            &challenge.verifier_kem,
+            &ak.kem.public_key().0,
+            &ak.measurement,
+        );
+        self.sessions.insert(challenge.nonce, (key, ak.measurement));
+        if let Some(t) = &self.tele {
+            t.quotes.inc();
+        }
+        Ok(Quote::sign(
+            &ak.sign,
+            ak.measurement,
+            challenge,
+            ak.kem.public_key().0,
+            self.device_cert.clone(),
+            ak.cert.clone(),
+        ))
+    }
+
+    /// Redeems a verifier-issued ticket against the session it names,
+    /// unsealing the tenant DEK inside the enclave. This is the **only**
+    /// constructor of [`AttestedTenant`]. Sessions are one-shot: a
+    /// successful redeem consumes the session, so a second redeem of the
+    /// same ticket fails with [`AttestError::UnknownSession`]. A failed
+    /// unseal leaves the session open — a tampered ticket cannot burn
+    /// the honest party's session.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttestError::UnknownSession`] — the ticket names a nonce with
+    ///   no open session (never quoted here, or already redeemed).
+    /// * [`AttestError::UnknownMeasurement`] — the ticket's stated
+    ///   measurement is not the one this kernel quoted for the session.
+    /// * [`AttestError::SealTamper`] — the sealed DEK failed
+    ///   authenticated decryption (tampered, or spliced from another
+    ///   session/tenant/measurement).
+    pub fn redeem(&mut self, ticket: &AttestationTicket) -> Result<AttestedTenant, AttestError> {
+        let session = ticket.session();
+        let Some((key, measurement)) = self.sessions.get(&session).copied() else {
+            if let Some(t) = &self.tele {
+                t.rejected.inc();
+            }
+            return Err(AttestError::UnknownSession);
+        };
+        if ticket.measurement() != measurement {
+            if let Some(t) = &self.tele {
+                t.rejected.inc();
+            }
+            return Err(AttestError::UnknownMeasurement(
+                ticket.measurement().to_hex(),
+            ));
+        }
+        let dek = match ticket
+            .sealed_dek()
+            .open(&key, ticket.tenant(), &measurement, &session)
+        {
+            Ok(dek) => dek,
+            Err(e) => {
+                if let Some(t) = &self.tele {
+                    t.rejected.inc();
+                }
+                return Err(e);
+            }
+        };
+        self.sessions.remove(&session);
+        if let Some(t) = &self.tele {
+            t.redeemed.inc();
+        }
+        Ok(AttestedTenant::new(ticket.clone(), dek))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::ManufacturerCa;
+
+    fn kernel() -> SecurityKernel {
+        let ca = ManufacturerCa::from_seed(b"kernel-tests");
+        let root = AttestationRoot::from_device_key(&[5u8; 32]);
+        let cert = ca.certify_device(b"die-1", &root);
+        SecurityKernel::new(root, b"die-1", cert).unwrap()
+    }
+
+    #[test]
+    fn boot_rejects_foreign_device_cert() {
+        let ca = ManufacturerCa::from_seed(b"kernel-tests");
+        let root = AttestationRoot::from_device_key(&[5u8; 32]);
+        let other_root = AttestationRoot::from_device_key(&[6u8; 32]);
+        let cert = ca.certify_device(b"die-1", &other_root);
+        assert!(matches!(
+            SecurityKernel::new(root, b"die-1", cert),
+            Err(AttestError::CertChain(_))
+        ));
+    }
+
+    #[test]
+    fn reset_kernel_refuses_to_quote() {
+        let mut k = kernel();
+        assert_eq!(k.state(), KernelState::Reset);
+        let challenge = Challenge {
+            nonce: [1u8; 32],
+            verifier_kem: [2u8; 32],
+        };
+        assert!(matches!(k.quote(&challenge), Err(AttestError::State(_))));
+    }
+
+    #[test]
+    fn reload_changes_measurement_and_ak() {
+        let mut k = kernel();
+        k.load_shield_bitstream("shield", b"image-a");
+        let m1 = k.measurement().unwrap();
+        let ak1 = k.ak_cert().unwrap().ak_public;
+        k.load_shield_bitstream("shield", b"image-b");
+        let m2 = k.measurement().unwrap();
+        let ak2 = k.ak_cert().unwrap().ak_public;
+        assert_ne!(m1, m2);
+        assert_ne!(ak1, ak2);
+    }
+
+    #[test]
+    fn ak_cert_verifies_under_device_identity() {
+        let mut k = kernel();
+        k.load_shield_bitstream("shield", b"image");
+        let device_public = k.device_cert().device_public;
+        k.ak_cert().unwrap().verify(&device_public).unwrap();
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the attestation protocol's security contract:
+//! under arbitrary seeds, tenant names and tampering positions,
+//!
+//! * an honest challenge → quote → verify → redeem round always
+//!   succeeds and round-trips the sealed DEK,
+//! * a quote with any bit of its signature, measurement or nonce
+//!   flipped never verifies,
+//! * a consumed transcript never verifies a second time, and
+//! * a ticket with any byte flipped is never redeemed by the kernel.
+
+use proptest::prelude::*;
+use shef_attest::{AttestError, AttestationEnvironment, AttestationTicket};
+
+fn env_from(seed: u64) -> AttestationEnvironment {
+    AttestationEnvironment::new(&seed.to_le_bytes()).expect("environment")
+}
+
+fn tenant_name(id: u8) -> String {
+    format!("tenant-{id}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest onboarding succeeds for every seed/tenant/DEK and hands
+    /// the enclave exactly the DEK the Data Owner sealed.
+    #[test]
+    fn honest_onboarding_always_succeeds(seed in any::<u64>(), id in any::<u8>(), fill in any::<u8>()) {
+        let mut env = env_from(seed);
+        let name = tenant_name(id);
+        let dek = [fill; 32];
+        let grant = env.onboard(&name, dek).expect("honest round");
+        prop_assert_eq!(grant.tenant(), name.as_str());
+        prop_assert_eq!(grant.data_key(), dek);
+    }
+
+    /// Flipping any bit anywhere in the quote signature is always
+    /// rejected as a bad signature.
+    #[test]
+    fn forged_quote_signature_never_verifies(seed in any::<u64>(), byte in 0usize..64, bit in 0u8..8) {
+        let mut env = env_from(seed);
+        let challenge = env.verifier_mut().challenge();
+        let mut quote = env.kernel_mut().quote(&challenge).expect("quote");
+        quote.signature.0[byte] ^= 1 << bit;
+        let got = env.verifier_mut().verify_and_provision(&quote, "victim", [7u8; 32]);
+        prop_assert!(
+            matches!(got, Err(AttestError::BadSignature(_))),
+            "forged signature accepted: {:?}", got.map(|_| ())
+        );
+    }
+
+    /// Flipping any bit of the quoted measurement breaks the signature
+    /// (the AK signs the measurement) — never an accepted quote.
+    #[test]
+    fn tampered_measurement_never_verifies(seed in any::<u64>(), byte in 0usize..32, bit in 0u8..8) {
+        let mut env = env_from(seed);
+        let challenge = env.verifier_mut().challenge();
+        let mut quote = env.kernel_mut().quote(&challenge).expect("quote");
+        quote.measurement.0[byte] ^= 1 << bit;
+        let got = env.verifier_mut().verify_and_provision(&quote, "victim", [7u8; 32]);
+        prop_assert!(got.is_err(), "tampered measurement accepted");
+    }
+
+    /// A quote re-bound to a different nonce never verifies: either the
+    /// nonce is unknown to the verifier or the signature no longer
+    /// covers it.
+    #[test]
+    fn redirected_nonce_never_verifies(seed in any::<u64>(), byte in 0usize..32, bit in 0u8..8) {
+        let mut env = env_from(seed);
+        let challenge = env.verifier_mut().challenge();
+        let mut quote = env.kernel_mut().quote(&challenge).expect("quote");
+        quote.nonce[byte] ^= 1 << bit;
+        let got = env.verifier_mut().verify_and_provision(&quote, "victim", [7u8; 32]);
+        prop_assert!(got.is_err(), "redirected nonce accepted");
+    }
+
+    /// A fully honest transcript, replayed after the session was
+    /// consumed, is always rejected as a replay.
+    #[test]
+    fn consumed_transcript_never_verifies_twice(seed in any::<u64>(), id in any::<u8>()) {
+        let mut env = env_from(seed);
+        let name = tenant_name(id);
+        let challenge = env.verifier_mut().challenge();
+        let quote = env.kernel_mut().quote(&challenge).expect("quote");
+        let ticket = env
+            .verifier_mut()
+            .verify_and_provision(&quote, &name, [9u8; 32])
+            .expect("honest round");
+        env.kernel_mut().redeem(&ticket).expect("redeem");
+        let replay = env.verifier_mut().verify_and_provision(&quote, &name, [9u8; 32]);
+        prop_assert!(
+            matches!(replay, Err(AttestError::ReplayedNonce)),
+            "replayed transcript accepted: {:?}", replay.map(|_| ())
+        );
+    }
+
+    /// Flipping any byte of the serialized ticket is caught by the
+    /// layer that owns that region: the kernel refuses to unseal if the
+    /// tenant binding, session, or sealed DEK is touched (the GCM seal
+    /// is its root of trust), and the service-side signature check
+    /// refuses the ticket if the verifier identity or signature is
+    /// touched. No flipped byte anywhere releases a DEK to an admitted
+    /// tenant.
+    #[test]
+    fn tampered_ticket_never_redeems(seed in any::<u64>(), pos in any::<u16>(), bit in 0u8..8) {
+        let mut env = env_from(seed);
+        let trusted = env.verifier_public();
+        let challenge = env.verifier_mut().challenge();
+        let quote = env.kernel_mut().quote(&challenge).expect("quote");
+        let ticket = env
+            .verifier_mut()
+            .verify_and_provision(&quote, "victim", [9u8; 32])
+            .expect("honest round");
+        let mut bytes = ticket.to_bytes();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // Trailing 96 bytes = verifier public key (32) + signature (64):
+        // the admission layer's jurisdiction. Everything before them is
+        // sealed-DEK territory the kernel must police.
+        let sealed_end = bytes.len() - 96;
+        if let Ok(tampered) = AttestationTicket::from_bytes(&bytes) {
+            if idx < sealed_end {
+                let got = env.kernel_mut().redeem(&tampered);
+                prop_assert!(got.is_err(), "tampered ticket redeemed at byte {}", idx);
+            } else {
+                prop_assert!(
+                    tampered.verify(&trusted, "victim").is_err(),
+                    "tampered ticket passed the service check at byte {}", idx
+                );
+            }
+        }
+        // The genuine ticket still redeems afterwards: the tamper
+        // attempt must not have burned the session.
+        let grant = env.kernel_mut().redeem(&ticket).expect("genuine redeem");
+        prop_assert_eq!(grant.data_key(), [9u8; 32]);
+    }
+}

@@ -4,6 +4,15 @@
 //! paper's evaluation (§6), printing `measured` next to `paper` so the
 //! comparison in EXPERIMENTS.md is mechanical. Run them with
 //! `cargo run --release -p shef-bench --bin <name>`.
+//!
+//! This library crate only holds the formatting shared by those
+//! binaries — section headers and measured-vs-paper rows:
+//!
+//! ```
+//! shef_bench::header("Fig. 5 — vecadd overhead");
+//! shef_bench::overhead_row("AES128_16X", 1.18, Some(1.2));
+//! shef_bench::overhead_row("unvalidated point", 2.41, None);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -78,6 +78,12 @@ impl From<FpgaError> for ShefError {
     }
 }
 
+impl From<shef_attest::AttestError> for ShefError {
+    fn from(e: shef_attest::AttestError) -> Self {
+        ShefError::AttestationFailed(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

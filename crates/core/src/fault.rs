@@ -62,6 +62,17 @@ pub enum ShieldFault {
         /// Name of the aborted tenant.
         tenant: String,
     },
+    /// The service refused to admit a tenant whose attestation
+    /// credential did not check out: missing/forged verifier signature,
+    /// wrong tenant binding, or a replayed (already-admitted)
+    /// attestation session. The reason string is the typed
+    /// `shef_attest::AttestError` rendered for the audit log.
+    AttestationRejected {
+        /// Name of the tenant that was refused admission.
+        tenant: String,
+        /// Why the credential was rejected.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for ShieldFault {
@@ -85,6 +96,10 @@ impl core::fmt::Display for ShieldFault {
             ShieldFault::TenantAborted { tenant } => {
                 write!(f, "tenant '{tenant}' was aborted mid-batch")
             }
+            ShieldFault::AttestationRejected { tenant, reason } => write!(
+                f,
+                "tenant '{tenant}' refused admission: attestation credential rejected ({reason})"
+            ),
         }
     }
 }
@@ -113,5 +128,10 @@ mod tests {
             tenant: "acme".into(),
         };
         assert!(e.to_string().contains("aborted"));
+        let e = ShieldFault::AttestationRejected {
+            tenant: "acme".into(),
+            reason: "ticket signature invalid".into(),
+        };
+        assert!(e.to_string().contains("attestation"));
     }
 }

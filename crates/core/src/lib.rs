@@ -31,9 +31,24 @@
 //!
 //! ## Quickstart
 //!
+//! A Shield starts from a validated configuration — named regions, each
+//! with its own engine set:
+//!
+//! ```
+//! use shef_core::shield::{EngineSetConfig, MemRange, ShieldConfig};
+//!
+//! let config = ShieldConfig::builder()
+//!     .region("data", MemRange::new(0x1000, 0x2000), EngineSetConfig::default())
+//!     .build()
+//!     .expect("valid config");
+//! assert_eq!(config.regions.len(), 1);
+//! ```
+//!
 //! See `examples/quickstart.rs` at the workspace root for the full
 //! eleven-step lifecycle; the crate-level integration tests
-//! (`tests/end_to_end.rs`) exercise every path.
+//! (`tests/end_to_end.rs`) exercise every path. `docs/ARCHITECTURE.md`
+//! maps the crates and walks the datapath; `docs/SECURITY_MODEL.md`
+//! states the threat model this crate defends against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

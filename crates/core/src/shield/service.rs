@@ -7,10 +7,12 @@
 //! structural rather than policed:
 //!
 //! * **Key-domain separation** — every tenant's Shield is provisioned
-//!   with [`DataEncryptionKey::tenant_key`], an independent HKDF domain
-//!   of the service master key, so region keys, nonces, tree keys and
-//!   register keys never collide across tenants (same address, two
-//!   tenants → unrelated ciphertext and tags).
+//!   with the Data Encryption Key its owner sealed to the enclave
+//!   during remote attestation (typically an independent HKDF domain of
+//!   the owner's master key, [`DataEncryptionKey::tenant_key`]), so
+//!   region keys, nonces, tree keys and register keys never collide
+//!   across tenants (same address, two tenants → unrelated ciphertext
+//!   and tags).
 //! * **Address-namespace separation** — each tenant owns a private
 //!   Shell and DRAM model; an address names different physical state
 //!   per tenant, so no burst can reach another tenant's bytes.
@@ -27,10 +29,21 @@
 //! same-seed run is byte-identical, and a one-tenant service is
 //! bit-identical to the bare parallel datapath (the differential
 //! conformance suite holds this line).
+//!
+//! **Admission is attestation-gated.** [`ShieldService::register_tenant`]
+//! takes an [`AttestedTenant`] — a credential only constructible by
+//! redeeming a verifier-issued ticket on a measured Security Kernel
+//! (`shef_attest`). The service checks the ticket against the verifier
+//! key it pins and refuses replayed attestation sessions, so a tenant
+//! that skipped (or failed) remote attestation cannot be registered at
+//! all; the rejection surfaces as the typed
+//! [`ShieldFault::AttestationRejected`].
 
 use std::collections::BTreeSet;
 
+use shef_attest::AttestedTenant;
 use shef_crypto::ecies::EciesKeyPair;
+use shef_crypto::ed25519::VerifyingKey;
 use shef_fpga::clock::{CostLedger, Cycles};
 use shef_fpga::dram::Dram;
 use shef_fpga::shell::Shell;
@@ -205,6 +218,8 @@ struct ShardTelemetry {
 struct ServiceTelemetry {
     admitted: Counter,
     admission_rejects: Counter,
+    attest_admitted: Counter,
+    attest_rejected: Counter,
     dispatched: Counter,
     completed: Counter,
     queue_drops: Counter,
@@ -219,6 +234,8 @@ impl ServiceTelemetry {
         ServiceTelemetry {
             admitted: t.counter("shield.service.admitted"),
             admission_rejects: t.counter("shield.service.admission_rejects"),
+            attest_admitted: t.counter("shield.attest.admitted"),
+            attest_rejected: t.counter("shield.attest.rejected"),
             dispatched: t.counter("shield.service.dispatched"),
             completed: t.counter("shield.service.completed"),
             queue_drops: t.counter("shield.service.queue_drops"),
@@ -272,7 +289,11 @@ struct Tenant {
 /// The multi-tenant Shield runtime (see the module docs).
 pub struct ShieldService {
     config: ServiceConfig,
-    master: DataEncryptionKey,
+    trusted_verifier: VerifyingKey,
+    /// Attestation sessions already admitted — a ticket is single-use
+    /// at the service layer too, so replaying an admitted credential
+    /// (e.g. after a tenant is evicted) is refused.
+    used_sessions: BTreeSet<[u8; 32]>,
     tenants: Vec<Tenant>,
     shards: Vec<ShieldShard>,
     queue: std::collections::VecDeque<PendingRequest>,
@@ -293,15 +314,16 @@ impl core::fmt::Debug for ShieldService {
 }
 
 impl ShieldService {
-    /// Builds an empty service around a master Data Encryption Key.
-    /// Tenant key domains are HKDF children of `master` (see
-    /// [`DataEncryptionKey::tenant_key`]); the master itself never
-    /// touches a datapath.
+    /// Builds an empty service that trusts attestation tickets signed
+    /// by `trusted_verifier` (the Data Owners' remote verifier, see
+    /// `shef_attest::RemoteVerifier::public_key`). The service holds no
+    /// key material of its own: every tenant DEK arrives sealed through
+    /// the attestation protocol.
     ///
     /// # Errors
     ///
     /// Returns [`ShefError::InvalidConfig`] on inconsistent knobs.
-    pub fn new(config: ServiceConfig, master: DataEncryptionKey) -> Result<Self, ShefError> {
+    pub fn new(config: ServiceConfig, trusted_verifier: VerifyingKey) -> Result<Self, ShefError> {
         config.validate()?;
         let telemetry = Telemetry::new();
         let tele = ServiceTelemetry::bind(&telemetry, config.shards);
@@ -310,7 +332,8 @@ impl ShieldService {
             .collect();
         Ok(ShieldService {
             config,
-            master,
+            trusted_verifier,
+            used_sessions: BTreeSet::new(),
             tenants: Vec::new(),
             shards,
             queue: std::collections::VecDeque::new(),
@@ -351,29 +374,60 @@ impl ShieldService {
         }
     }
 
-    /// Registers a tenant: derives its key domain from the master key,
-    /// builds and provisions a private Shield over `shield_config`,
-    /// and assigns the tenant to shard `index % shards`.
+    /// Registers a tenant: validates its attestation credential against
+    /// the pinned verifier key, builds and provisions a private Shield
+    /// over `shield_config` with the DEK the credential carries, and
+    /// assigns the tenant to shard `index % shards`.
+    ///
+    /// The `grant` is an [`AttestedTenant`] — only constructible by
+    /// redeeming a verifier-issued ticket on a measured Security
+    /// Kernel — so unattested admission is impossible by construction,
+    /// and this method additionally checks the ticket's issuer, its
+    /// tenant binding, and that the attestation session has not been
+    /// admitted before.
     ///
     /// # Errors
     ///
-    /// Returns [`ShefError::InvalidConfig`] on a duplicate tenant name
-    /// and propagates Shield construction/provisioning errors.
+    /// * [`ShieldFault::AttestationRejected`] (as [`ShefError::Fault`])
+    ///   if the ticket was not issued by the trusted verifier, is bound
+    ///   to a different tenant name, or its session was already
+    ///   admitted.
+    /// * [`ShefError::InvalidConfig`] on a duplicate tenant name.
+    /// * Shield construction/provisioning errors are propagated.
     pub fn register_tenant(
         &mut self,
         name: &str,
         shield_config: ShieldConfig,
+        grant: &AttestedTenant,
     ) -> Result<TenantId, ShefError> {
         if self.tenants.iter().any(|t| t.name == name) {
             return Err(ShefError::InvalidConfig(format!(
                 "duplicate tenant name '{name}'"
             )));
         }
+        // Replay is checked first: a credential whose session was
+        // already admitted is rejected as such even if the replayer
+        // also re-bound it to a fresh tenant name.
+        let session = grant.ticket().session();
+        if self.used_sessions.contains(&session) {
+            self.tele.attest_rejected.inc();
+            return Err(ShefError::Fault(ShieldFault::AttestationRejected {
+                tenant: name.to_owned(),
+                reason: "attestation session already admitted (replayed credential)".into(),
+            }));
+        }
+        if let Err(e) = grant.ticket().verify(&self.trusted_verifier, name) {
+            self.tele.attest_rejected.inc();
+            return Err(ShefError::Fault(ShieldFault::AttestationRejected {
+                tenant: name.to_owned(),
+                reason: e.to_string(),
+            }));
+        }
         let index = self.tenants.len();
         let shard = index % self.config.shards;
         let keypair = EciesKeyPair::from_seed(format!("shef.service.tenant.{name}").as_bytes());
         let mut shield = Shield::new(shield_config, keypair)?;
-        let dek = self.master.tenant_key(name);
+        let dek = DataEncryptionKey::from_bytes(grant.data_key());
         let load_key = dek.to_load_key(&shield.public_key());
         shield.provision_load_key(&load_key)?;
         shield.attach_telemetry(&self.telemetry);
@@ -391,6 +445,8 @@ impl ShieldService {
             outstanding: 0,
             tele,
         });
+        self.used_sessions.insert(session);
+        self.tele.attest_admitted.inc();
         self.tele.tenants.set(self.tenants.len() as u64);
         Ok(TenantId(index))
     }
@@ -688,8 +744,25 @@ mod tests {
             .unwrap()
     }
 
-    fn service(config: ServiceConfig) -> ShieldService {
-        ShieldService::new(config, DataEncryptionKey::from_bytes([0x21u8; 32])).unwrap()
+    /// Honest attestation fixture shared by the tests: the service
+    /// pins the environment's verifier, and tenants onboard through a
+    /// full attestation round before registration.
+    fn service(config: ServiceConfig) -> (ShieldService, shef_attest::AttestationEnvironment) {
+        let env = shef_attest::AttestationEnvironment::new(b"service-unit-tests").unwrap();
+        let svc = ShieldService::new(config, env.verifier_public()).unwrap();
+        (svc, env)
+    }
+
+    fn register(
+        svc: &mut ShieldService,
+        env: &mut shef_attest::AttestationEnvironment,
+        name: &str,
+    ) -> TenantId {
+        let master = DataEncryptionKey::from_bytes([0x21u8; 32]);
+        let grant = env
+            .onboard(name, master.tenant_key(name).to_bytes())
+            .unwrap();
+        svc.register_tenant(name, tenant_config(), &grant).unwrap()
     }
 
     fn write(addr: u64, data: Vec<u8>) -> ServiceRequest {
@@ -739,8 +812,8 @@ mod tests {
 
     #[test]
     fn write_read_round_trip_through_the_service() {
-        let mut svc = service(ServiceConfig::default());
-        let t = svc.register_tenant("alice", tenant_config()).unwrap();
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let t = register(&mut svc, &mut env, "alice");
         let data = vec![0xAB; 2 * CHUNK];
         svc.submit(t, write(0x1000, data.clone())).unwrap();
         let id = svc.submit(t, read(0x1000, data.len())).unwrap();
@@ -761,12 +834,12 @@ mod tests {
 
     #[test]
     fn admission_queue_bound_is_enforced() {
-        let mut svc = service(ServiceConfig {
+        let (mut svc, mut env) = service(ServiceConfig {
             queue_capacity: 2,
             tenant_quota: 2,
             ..ServiceConfig::default()
         });
-        let t = svc.register_tenant("alice", tenant_config()).unwrap();
+        let t = register(&mut svc, &mut env, "alice");
         svc.submit(t, ServiceRequest::Flush).unwrap();
         svc.submit(t, ServiceRequest::Flush).unwrap();
         let err = svc.submit(t, ServiceRequest::Flush).unwrap_err();
@@ -781,13 +854,13 @@ mod tests {
 
     #[test]
     fn tenant_quota_is_enforced_independently_of_queue_space() {
-        let mut svc = service(ServiceConfig {
+        let (mut svc, mut env) = service(ServiceConfig {
             queue_capacity: 8,
             tenant_quota: 1,
             ..ServiceConfig::default()
         });
-        let a = svc.register_tenant("alice", tenant_config()).unwrap();
-        let b = svc.register_tenant("bob", tenant_config()).unwrap();
+        let a = register(&mut svc, &mut env, "alice");
+        let b = register(&mut svc, &mut env, "bob");
         svc.submit(a, ServiceRequest::Flush).unwrap();
         assert!(svc.submit(a, ServiceRequest::Flush).is_err());
         // Another tenant still has quota.
@@ -796,23 +869,27 @@ mod tests {
 
     #[test]
     fn duplicate_tenant_names_are_rejected() {
-        let mut svc = service(ServiceConfig::default());
-        svc.register_tenant("alice", tenant_config()).unwrap();
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        register(&mut svc, &mut env, "alice");
+        let master = DataEncryptionKey::from_bytes([0x21u8; 32]);
+        let grant = env
+            .onboard("alice", master.tenant_key("alice").to_bytes())
+            .unwrap();
         assert!(matches!(
-            svc.register_tenant("alice", tenant_config()),
+            svc.register_tenant("alice", tenant_config(), &grant),
             Err(ShefError::InvalidConfig(_))
         ));
     }
 
     #[test]
     fn tenants_round_robin_across_shards() {
-        let mut svc = service(ServiceConfig {
+        let (mut svc, mut env) = service(ServiceConfig {
             shards: 2,
             ..ServiceConfig::default()
         });
-        let a = svc.register_tenant("a", tenant_config()).unwrap();
-        let b = svc.register_tenant("b", tenant_config()).unwrap();
-        let c = svc.register_tenant("c", tenant_config()).unwrap();
+        let a = register(&mut svc, &mut env, "a");
+        let b = register(&mut svc, &mut env, "b");
+        let c = register(&mut svc, &mut env, "c");
         assert_eq!(svc.tenant_shard(a), 0);
         assert_eq!(svc.tenant_shard(b), 1);
         assert_eq!(svc.tenant_shard(c), 0);
@@ -820,8 +897,8 @@ mod tests {
 
     #[test]
     fn injected_drop_completes_with_queue_drop_error() {
-        let mut svc = service(ServiceConfig::default());
-        let t = svc.register_tenant("alice", tenant_config()).unwrap();
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let t = register(&mut svc, &mut env, "alice");
         let id = svc.submit(t, read(0x1000, CHUNK)).unwrap();
         assert!(svc.inject_queue_drop(id));
         let completions = svc.drain();
@@ -836,9 +913,9 @@ mod tests {
 
     #[test]
     fn abort_errors_queued_requests_and_refuses_new_ones() {
-        let mut svc = service(ServiceConfig::default());
-        let a = svc.register_tenant("victim", tenant_config()).unwrap();
-        let b = svc.register_tenant("bystander", tenant_config()).unwrap();
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let a = register(&mut svc, &mut env, "victim");
+        let b = register(&mut svc, &mut env, "bystander");
         svc.submit(a, ServiceRequest::Flush).unwrap();
         svc.submit(b, ServiceRequest::Flush).unwrap();
         svc.abort_tenant(a);
@@ -862,13 +939,13 @@ mod tests {
     #[test]
     fn same_inputs_produce_identical_completion_order_and_clocks() {
         let run = || {
-            let mut svc = service(ServiceConfig {
+            let (mut svc, mut env) = service(ServiceConfig {
                 shards: 2,
                 lanes_per_shard: 2,
                 ..ServiceConfig::default()
             });
-            let a = svc.register_tenant("a", tenant_config()).unwrap();
-            let b = svc.register_tenant("b", tenant_config()).unwrap();
+            let a = register(&mut svc, &mut env, "a");
+            let b = register(&mut svc, &mut env, "b");
             for i in 0..4u64 {
                 svc.submit(a, write(0x1000 + i * CHUNK as u64, vec![i as u8; CHUNK]))
                     .unwrap();
@@ -892,14 +969,14 @@ mod tests {
 
     #[test]
     fn service_telemetry_reports_admission_and_tenant_scopes() {
-        let mut svc = service(ServiceConfig {
+        let (mut svc, mut env) = service(ServiceConfig {
             queue_capacity: 1,
             tenant_quota: 1,
             ..ServiceConfig::default()
         });
         let shared = Telemetry::new();
         svc.attach_telemetry(&shared);
-        let t = svc.register_tenant("alice", tenant_config()).unwrap();
+        let t = register(&mut svc, &mut env, "alice");
         svc.submit(t, write(0x1000, vec![7; CHUNK])).unwrap();
         assert!(svc.submit(t, ServiceRequest::Flush).is_err());
         svc.drain();
@@ -920,5 +997,68 @@ mod tests {
             counter("shield.service.tenant.alice.bytes_written"),
             CHUNK as u64
         );
+    }
+
+    #[test]
+    fn ticket_from_untrusted_verifier_is_rejected() {
+        let (mut svc, _env) = service(ServiceConfig::default());
+        // A credential from a *different* verifier (rogue attestation
+        // environment): structurally a valid AttestedTenant, but not
+        // issued by the verifier this service pins.
+        let mut rogue = shef_attest::AttestationEnvironment::new(b"rogue-env").unwrap();
+        let grant = rogue.onboard("alice", [0x33u8; 32]).unwrap();
+        let err = svc
+            .register_tenant("alice", tenant_config(), &grant)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ShefError::Fault(ShieldFault::AttestationRejected { ref tenant, .. })
+                if tenant == "alice"
+        ));
+        assert_eq!(svc.tenant_count(), 0);
+    }
+
+    #[test]
+    fn credential_bound_to_other_tenant_is_rejected() {
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let grant = env.onboard("mallory", [0x33u8; 32]).unwrap();
+        let err = svc
+            .register_tenant("alice", tenant_config(), &grant)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ShefError::Fault(ShieldFault::AttestationRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn replayed_attestation_session_is_rejected() {
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let grant = env.onboard("alice", [0x33u8; 32]).unwrap();
+        svc.register_tenant("alice", tenant_config(), &grant)
+            .unwrap();
+        // Same credential, fresh name: the session was already admitted.
+        let err = svc
+            .register_tenant("alice2", tenant_config(), &grant)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ShefError::Fault(ShieldFault::AttestationRejected { ref reason, .. })
+                if reason.contains("replayed")
+        ));
+    }
+
+    #[test]
+    fn attestation_admission_telemetry() {
+        let (mut svc, mut env) = service(ServiceConfig::default());
+        let shared = Telemetry::new();
+        svc.attach_telemetry(&shared);
+        register(&mut svc, &mut env, "alice");
+        let mut rogue = shef_attest::AttestationEnvironment::new(b"rogue-env").unwrap();
+        let bad = rogue.onboard("eve", [0x44u8; 32]).unwrap();
+        assert!(svc.register_tenant("eve", tenant_config(), &bad).is_err());
+        let report = shared.report();
+        assert_eq!(report.counters["shield.attest.admitted"], 1);
+        assert_eq!(report.counters["shield.attest.rejected"], 1);
     }
 }

@@ -130,6 +130,8 @@ fn run_service(
     ops: &[Op],
 ) -> (Vec<Vec<u8>>, CostLedger, Vec<u8>, Vec<u8>) {
     let master = DataEncryptionKey::from_bytes([0x33u8; 32]);
+    let mut env = shef_attest::AttestationEnvironment::new(b"core.service-equivalence")
+        .expect("attestation fixture");
     let mut service = ShieldService::new(
         ServiceConfig {
             shards: 1,
@@ -137,11 +139,14 @@ fn run_service(
             queue_capacity: 256,
             tenant_quota: 256,
         },
-        master,
+        env.verifier_public(),
     )
     .expect("service constructs");
+    let grant = env
+        .onboard(TENANT, master.tenant_key(TENANT).to_bytes())
+        .expect("tenant attests");
     let tenant = service
-        .register_tenant(TENANT, shield_config(scheme))
+        .register_tenant(TENANT, shield_config(scheme), &grant)
         .expect("tenant registers");
     for op in ops {
         let request = match *op {

@@ -104,11 +104,18 @@ fn run_once(
         tenant_quota: tenant_quota.min(queue_capacity),
     };
     let master = DataEncryptionKey::from_bytes([0x44u8; 32]);
-    let mut service = ShieldService::new(config, master).expect("service constructs");
+    let mut env = shef_attest::AttestationEnvironment::new(b"core.service-props")
+        .expect("attestation fixture");
+    let mut service =
+        ShieldService::new(config, env.verifier_public()).expect("service constructs");
     let ids: Vec<TenantId> = (0..tenants)
         .map(|i| {
+            let name = format!("tenant{i}");
+            let grant = env
+                .onboard(&name, master.tenant_key(&name).to_bytes())
+                .expect("tenant attests");
             service
-                .register_tenant(&format!("tenant{i}"), tenant_config())
+                .register_tenant(&name, tenant_config(), &grant)
                 .expect("tenant registers")
         })
         .collect();

@@ -15,7 +15,14 @@
 //! then the mean wall-clock time per iteration and, when a
 //! [`Throughput`] was declared, the implied bandwidth are printed. No
 //! statistics, plots, or baselines — just enough signal for smoke runs
-//! and coarse regression eyeballing.
+//! and coarse regression eyeballing:
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("add", |b| b.iter(|| black_box(2u64 + 2)));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -31,6 +31,17 @@
 //! Nothing in this crate implements ShEF itself; `shef-core` builds the
 //! secure boot, attestation, and Shield on top of these mechanisms, the
 //! same way the real ShEF builds on stock Xilinx/Intel hardware.
+//!
+//! The substrate is directly drivable — including the threat model's
+//! defining property, adversary-accessible device DRAM:
+//!
+//! ```
+//! use shef_fpga::dram::Dram;
+//!
+//! let mut dram = Dram::f1_default();
+//! dram.tamper_write(0x1000, b"adversary-visible bytes");
+//! assert_eq!(dram.tamper_read(0x1000, 9), b"adversary".to_vec());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -14,7 +14,7 @@
 //! device key.
 
 use shef_crypto::authenc::{AuthEncKey, MacAlgorithm, Sealed};
-use shef_crypto::CryptoError;
+use shef_crypto::{hkdf, CryptoError};
 
 use crate::keystore::KeyStore;
 use crate::FpgaError;
@@ -22,6 +22,50 @@ use crate::FpgaError;
 /// Domain-separation label for firmware encryption. The Manufacturer
 /// must seal firmware with [`seal_firmware`] for BootROM to accept it.
 const FIRMWARE_AD: &[u8] = b"shef.fpga.spb.firmware.v1";
+
+/// HKDF label under which BootROM derives the attestation root from the
+/// device key.
+const ATTEST_ROOT_LABEL: &[u8] = b"shef.fpga.spb.attest-root.v1";
+
+/// The secret BootROM hands to the measured Security Kernel: an HKDF
+/// child of the AES device key, so attestation is rooted in the
+/// SPB-burned key while the raw device key itself never leaves the SPB
+/// (the key store is locked before firmware runs).
+///
+/// The Manufacturer knows the device key it burned, so it can derive
+/// the same root with [`AttestationRoot::from_device_key`] to certify
+/// the device's attestation identity without ever talking to the
+/// device.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AttestationRoot([u8; 32]);
+
+impl core::fmt::Debug for AttestationRoot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AttestationRoot").finish_non_exhaustive()
+    }
+}
+
+impl AttestationRoot {
+    /// Derives the root from a raw AES device key (the Manufacturer's
+    /// side of the derivation; on-device it is produced by
+    /// [`Spb::boot_rom_measured`]).
+    #[must_use]
+    pub fn from_device_key(device_aes_key: &[u8; 32]) -> Self {
+        AttestationRoot(hkdf::derive_key32(ATTEST_ROOT_LABEL, device_aes_key, b""))
+    }
+
+    /// Wraps raw root bytes (deserialization of a modelled secret).
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        AttestationRoot(bytes)
+    }
+
+    /// Raw root bytes, for key derivation inside the Security Kernel.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0
+    }
+}
 
 /// Seals a firmware payload under the AES device key, as the
 /// Manufacturer does before shipping the device (Fig. 2 step 2).
@@ -80,6 +124,25 @@ impl Spb {
         keystore: &mut KeyStore,
         encrypted_firmware: &[u8],
     ) -> Result<Vec<u8>, FpgaError> {
+        self.boot_rom_measured(keystore, encrypted_firmware)
+            .map(|(payload, _)| payload)
+    }
+
+    /// [`Spb::boot_rom`] for a measured-boot flow: additionally derives
+    /// the [`AttestationRoot`] from the device key before locking the
+    /// key store, and hands it out alongside the firmware payload. The
+    /// caller (the Security Kernel model in `shef-attest`) uses the
+    /// root to derive its attestation identity and keys; the raw device
+    /// key stays confined to this method.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Spb::boot_rom`].
+    pub fn boot_rom_measured(
+        &mut self,
+        keystore: &mut KeyStore,
+        encrypted_firmware: &[u8],
+    ) -> Result<(Vec<u8>, AttestationRoot), FpgaError> {
         let device_key = keystore.read_aes_key()?;
         let key = AuthEncKey::from_bytes(device_key, MacAlgorithm::HmacSha256);
         let sealed = Sealed::from_bytes(encrypted_firmware).map_err(|_: CryptoError| {
@@ -90,9 +153,10 @@ impl Spb {
             self.state = SpbState::Faulted;
             FpgaError::FirmwareAuthentication
         })?;
+        let root = AttestationRoot::from_device_key(&device_key);
         keystore.lock();
         self.state = SpbState::FirmwareLoaded;
-        Ok(payload)
+        Ok((payload, root))
     }
 
     /// Resets the SPB (power cycle).
@@ -169,6 +233,20 @@ mod tests {
             spb.boot_rom(&mut ks, &[1, 2, 3]),
             Err(FpgaError::FirmwareAuthentication)
         );
+    }
+
+    #[test]
+    fn measured_boot_matches_manufacturer_derivation() {
+        let mut ks = burned_keystore();
+        let enc = seal_firmware(&[0x11u8; 32], b"fw");
+        let mut spb = Spb::new();
+        let (_, root) = spb.boot_rom_measured(&mut ks, &enc).unwrap();
+        // The Manufacturer, knowing the key it burned, derives the same
+        // root off-device — that is what lets it certify the device's
+        // attestation identity.
+        assert_eq!(root, AttestationRoot::from_device_key(&[0x11u8; 32]));
+        // The root is a domain-separated child, never the raw key.
+        assert_ne!(root.to_bytes(), [0x11u8; 32]);
     }
 
     #[test]

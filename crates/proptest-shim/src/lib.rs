@@ -14,7 +14,15 @@
 //! reports the property name, the case number, and the assertion
 //! message. Generation is fully deterministic (a fixed seed mixed with
 //! the property name and case index), so failures reproduce exactly
-//! across runs and machines.
+//! across runs and machines:
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! let even = (0u32..100).prop_map(|x| x * 2);
+//! let mut rng = TestRng::from_seed(7);
+//! assert_eq!(even.sample(&mut rng) % 2, 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

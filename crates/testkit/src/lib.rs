@@ -62,12 +62,22 @@
 //! `shield::pool` (worker lanes). The `shield::engine` containment
 //! state is probed after every detected integrity failure: the next
 //! operation must be rejected by the poisoned engine set.
+//!
+//! The remote-attestation protocol has its own injection points —
+//! `attest::quote` (forged quote signatures), `attest::verifier.nonce`
+//! (replayed transcripts), `attest::kernel.measure` (an unregistered
+//! Shield bitstream) and `attest::session.sealed_dek` (sealed tenant
+//! keys spliced between sessions). Each must land in its typed
+//! `AttestError` and leave the honest protocol round able to complete;
+//! an accepted forgery, replay, rogue measurement or spliced key is
+//! `SilentCorruption` like any other containment breach.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
 
+use shef_attest::{AttestError, AttestationEnvironment, AttestationTicket};
 use shef_core::attacks::{splice_chunks, ReplaySnapshot};
 use shef_core::fault::ShieldFault;
 use shef_core::shield::config::{EngineSetConfig, MemRange, RegionConfig, RegisterInterfaceConfig};
@@ -204,11 +214,20 @@ pub enum FaultClass {
     ShardPanic,
     /// Abort one tenant mid-batch while its requests are queued.
     TenantAbort,
+    /// Forge a quote: flip one byte of the Attestation-Key signature.
+    AttestQuoteForge,
+    /// Replay a complete, previously verified quote transcript.
+    AttestNonceReplay,
+    /// Attest a Shield bitstream outside the known-good registry.
+    AttestWrongMeasurement,
+    /// Splice a sealed-DEK blob from another attestation session into
+    /// a verifier-issued ticket.
+    AttestDekTamper,
 }
 
 impl FaultClass {
     /// Every fault class, in campaign sweep order.
-    pub const ALL: [FaultClass; 13] = [
+    pub const ALL: [FaultClass; 17] = [
         FaultClass::DramBitFlip,
         FaultClass::TagBitFlip,
         FaultClass::CiphertextSplice,
@@ -222,6 +241,10 @@ impl FaultClass {
         FaultClass::AdmissionDrop,
         FaultClass::ShardPanic,
         FaultClass::TenantAbort,
+        FaultClass::AttestQuoteForge,
+        FaultClass::AttestNonceReplay,
+        FaultClass::AttestWrongMeasurement,
+        FaultClass::AttestDekTamper,
     ];
 
     /// The memory-datapath classes (drivable by an LCG trace).
@@ -251,6 +274,10 @@ impl FaultClass {
             FaultClass::AdmissionDrop => "admission_drop",
             FaultClass::ShardPanic => "shard_panic",
             FaultClass::TenantAbort => "tenant_abort",
+            FaultClass::AttestQuoteForge => "attest_quote_forge",
+            FaultClass::AttestNonceReplay => "attest_nonce_replay",
+            FaultClass::AttestWrongMeasurement => "attest_wrong_measurement",
+            FaultClass::AttestDekTamper => "attest_dek_tamper",
         }
     }
 
@@ -270,6 +297,10 @@ impl FaultClass {
             FaultClass::AdmissionDrop | FaultClass::ShardPanic | FaultClass::TenantAbort => {
                 InjectionPoint::ShieldService
             }
+            FaultClass::AttestQuoteForge => InjectionPoint::AttestQuote,
+            FaultClass::AttestNonceReplay => InjectionPoint::AttestNonce,
+            FaultClass::AttestWrongMeasurement => InjectionPoint::AttestMeasurement,
+            FaultClass::AttestDekTamper => InjectionPoint::AttestSealedDek,
         }
     }
 
@@ -323,6 +354,14 @@ pub enum InjectionPoint {
     ShieldPool,
     /// `shield::service` — the multi-tenant admission queue and shards.
     ShieldService,
+    /// `attest::quote` — the Attestation-Key signature over a quote.
+    AttestQuote,
+    /// `attest::verifier.nonce` — the verifier's freshness window.
+    AttestNonce,
+    /// `attest::kernel.measure` — the measured Shield bitstream.
+    AttestMeasurement,
+    /// `attest::session.sealed_dek` — the AES-GCM-sealed tenant DEK.
+    AttestSealedDek,
 }
 
 impl InjectionPoint {
@@ -338,6 +377,10 @@ impl InjectionPoint {
             InjectionPoint::ShieldRegif => "shield::regif.host",
             InjectionPoint::ShieldPool => "shield::pool.lane",
             InjectionPoint::ShieldService => "shield::service.queue",
+            InjectionPoint::AttestQuote => "attest::quote",
+            InjectionPoint::AttestNonce => "attest::verifier.nonce",
+            InjectionPoint::AttestMeasurement => "attest::kernel.measure",
+            InjectionPoint::AttestSealedDek => "attest::session.sealed_dek",
         }
     }
 }
@@ -1368,13 +1411,24 @@ fn run_service_plan(plan: &FaultPlan, ev: &FaultEvent) -> ScenarioReport {
         queue_capacity: 4 * DEFAULT_OPS,
         tenant_quota: 2 * DEFAULT_OPS,
     };
-    let mut service = match ShieldService::new(config, master) {
+    // Tenants enter through the full remote-attestation flow: the
+    // owner-derived DEK is sealed to the enclave session and the
+    // service admits only the redeemed credential.
+    let mut env = match AttestationEnvironment::new(b"testkit.service-plan") {
+        Ok(e) => e,
+        Err(e) => return ScenarioReport::forbidden(format!("attestation fixture failed: {e}")),
+    };
+    let mut service = match ShieldService::new(config, env.verifier_public()) {
         Ok(s) => s,
         Err(e) => return ScenarioReport::forbidden(format!("service construction failed: {e}")),
     };
     let mut tenants = Vec::new();
     for name in ["victim", "bystander"] {
-        match service.register_tenant(name, service_shield_config(plan.scheme)) {
+        let grant = match env.onboard(name, master.tenant_key(name).to_bytes()) {
+            Ok(g) => g,
+            Err(e) => return ScenarioReport::forbidden(format!("tenant attestation failed: {e}")),
+        };
+        match service.register_tenant(name, service_shield_config(plan.scheme), &grant) {
             Ok(id) => tenants.push(id),
             Err(e) => return ScenarioReport::forbidden(format!("tenant registration failed: {e}")),
         }
@@ -1610,11 +1664,258 @@ fn run_service_plan(plan: &FaultPlan, ev: &FaultEvent) -> ScenarioReport {
     }
 }
 
+/// Builds the deterministic attestation fixture for a plan seed.
+fn attest_env_for(seed: u64) -> Result<AttestationEnvironment, ScenarioReport> {
+    AttestationEnvironment::new(&seed.to_le_bytes())
+        .map_err(|e| ScenarioReport::forbidden(format!("attestation fixture failed: {e}")))
+}
+
+/// Splices the sealed-DEK section of ticket `b` into ticket `a` via the
+/// canonical wire encoding — the attack an untrusted host relaying
+/// tickets can mount without breaking any signature check the *kernel*
+/// performs (the kernel trusts the GCM seal, not the verifier
+/// signature, so the seal itself must bind the session).
+fn splice_sealed_dek(a: &AttestationTicket, b: &AttestationTicket) -> Option<AttestationTicket> {
+    // Ticket layout: len(tenant)‖tenant ‖ measurement[32] ‖ session[32]
+    // ‖ len(sealed)‖sealed ‖ verifier_pub[32] ‖ signature[64], where
+    // sealed = len(ct)‖ct[32] ‖ tag[16] → 56 bytes including prefixes.
+    const SEALED_SECTION: usize = 4 + (4 + 32) + 16;
+    let mut bytes = a.to_bytes();
+    let b_bytes = b.to_bytes();
+    let a_off = 4 + a.tenant().len() + 64;
+    let b_off = 4 + b.tenant().len() + 64;
+    bytes[a_off..a_off + SEALED_SECTION].copy_from_slice(&b_bytes[b_off..b_off + SEALED_SECTION]);
+    AttestationTicket::from_bytes(&bytes).ok()
+}
+
+/// Runs a remote-attestation scenario: an honest device/verifier pair
+/// is attacked mid-protocol with a forged quote signature, a replayed
+/// transcript, an unregistered (tampered) Shield bitstream, or a
+/// sealed-DEK blob spliced between sessions. The contract mirrors the
+/// datapath scenarios: every attack must surface as its *typed*
+/// `AttestError` (mapped to a detection verdict), and the honest
+/// protocol round must still complete afterwards — the containment
+/// probe reports [`Verdict::Clean`] when it does.
+fn run_attest_plan(plan: &FaultPlan, ev: &FaultEvent) -> ScenarioReport {
+    let mut env = match attest_env_for(plan.seed) {
+        Ok(e) => e,
+        Err(report) => return report,
+    };
+    let dek = [(plan.seed as u8) ^ 0x5A; 32];
+
+    // Every scenario ends by proving the honest path still works; a
+    // detection that bricks the honest tenant is containment done wrong.
+    let honest_probe = |env: &mut AttestationEnvironment| -> Result<(), AttestError> {
+        env.onboard("victim-probe", dek).map(|_| ())
+    };
+
+    match ev.class {
+        FaultClass::AttestQuoteForge => {
+            let challenge = env.verifier_mut().challenge();
+            let mut quote = match env.kernel_mut().quote(&challenge) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("honest quote failed: {e}")),
+            };
+            quote.signature.0[ev.byte % 64] ^= if ev.flip == 0 { 1 } else { ev.flip };
+            match env
+                .verifier_mut()
+                .verify_and_provision(&quote, "victim", dek)
+            {
+                Err(AttestError::BadSignature(_)) => {}
+                Ok(_) => {
+                    return ScenarioReport::forbidden(
+                        "forged quote signature was accepted".to_string(),
+                    )
+                }
+                Err(other) => {
+                    return ScenarioReport::forbidden(format!(
+                        "forged quote rejected with wrong class: {other}"
+                    ))
+                }
+            }
+            // The failed forgery must not have burned the session: the
+            // genuine kernel can still answer the same challenge.
+            let genuine = match env.kernel_mut().quote(&challenge) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("honest re-quote failed: {e}")),
+            };
+            match env
+                .verifier_mut()
+                .verify_and_provision(&genuine, "victim", dek)
+            {
+                Ok(_) => ScenarioReport {
+                    verdict: Verdict::DetectedSpoof,
+                    probe: Some(Verdict::Clean),
+                    detail: "forged quote signature rejected; honest session preserved".into(),
+                },
+                Err(e) => {
+                    ScenarioReport::forbidden(format!("forgery burned the honest session: {e}"))
+                }
+            }
+        }
+        FaultClass::AttestNonceReplay => {
+            let challenge = env.verifier_mut().challenge();
+            let quote = match env.kernel_mut().quote(&challenge) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("honest quote failed: {e}")),
+            };
+            let ticket = match env
+                .verifier_mut()
+                .verify_and_provision(&quote, "victim", dek)
+            {
+                Ok(t) => t,
+                Err(e) => return ScenarioReport::forbidden(format!("honest verify failed: {e}")),
+            };
+            if let Err(e) = env.kernel_mut().redeem(&ticket) {
+                return ScenarioReport::forbidden(format!("honest redeem failed: {e}"));
+            }
+            // Replay the complete genuine transcript.
+            match env
+                .verifier_mut()
+                .verify_and_provision(&quote, "victim", dek)
+            {
+                Err(AttestError::ReplayedNonce) => {}
+                Ok(_) => {
+                    return ScenarioReport::forbidden(
+                        "replayed quote transcript was accepted".to_string(),
+                    )
+                }
+                Err(other) => {
+                    return ScenarioReport::forbidden(format!(
+                        "replay rejected with wrong class: {other}"
+                    ))
+                }
+            }
+            // And the redeemed ticket is one-shot on-device.
+            if !matches!(
+                env.kernel_mut().redeem(&ticket),
+                Err(AttestError::UnknownSession)
+            ) {
+                return ScenarioReport::forbidden(
+                    "ticket redeemed twice on the kernel".to_string(),
+                );
+            }
+            match honest_probe(&mut env) {
+                Ok(()) => ScenarioReport {
+                    verdict: Verdict::DetectedReplay,
+                    probe: Some(Verdict::Clean),
+                    detail: "replayed transcript and double-redeem rejected; fresh rounds fine"
+                        .into(),
+                },
+                Err(e) => {
+                    ScenarioReport::forbidden(format!("fresh round failed after replay: {e}"))
+                }
+            }
+        }
+        FaultClass::AttestWrongMeasurement => {
+            // The adversary swaps in a Shield bitstream the Data Owner
+            // never audited; the kernel measures honestly, so the quote
+            // carries a digest outside the known-good registry.
+            let mut rogue = shef_attest::env::DEMO_BITSTREAM.to_vec();
+            let idx = ev.byte % rogue.len();
+            rogue[idx] ^= if ev.flip == 0 { 1 } else { ev.flip };
+            env.kernel_mut()
+                .load_shield_bitstream(shef_attest::env::BITSTREAM_LABEL, &rogue);
+            let challenge = env.verifier_mut().challenge();
+            let quote = match env.kernel_mut().quote(&challenge) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("quote failed: {e}")),
+            };
+            match env
+                .verifier_mut()
+                .verify_and_provision(&quote, "victim", dek)
+            {
+                Err(AttestError::UnknownMeasurement(_)) => {}
+                Ok(_) => {
+                    return ScenarioReport::forbidden(
+                        "unregistered bitstream measurement was accepted".to_string(),
+                    )
+                }
+                Err(other) => {
+                    return ScenarioReport::forbidden(format!(
+                        "wrong measurement rejected with wrong class: {other}"
+                    ))
+                }
+            }
+            // A pristine honest device still attests.
+            let mut fresh = match attest_env_for(plan.seed.wrapping_add(1)) {
+                Ok(e) => e,
+                Err(report) => return report,
+            };
+            match honest_probe(&mut fresh) {
+                Ok(()) => ScenarioReport {
+                    verdict: Verdict::DetectedSpoof,
+                    probe: Some(Verdict::Clean),
+                    detail: "unknown measurement refused by the registry; honest device fine"
+                        .into(),
+                },
+                Err(e) => ScenarioReport::forbidden(format!("honest device failed: {e}")),
+            }
+        }
+        FaultClass::AttestDekTamper => {
+            // Two sessions on the same kernel; the host splices the
+            // bystander's sealed DEK into the victim's ticket.
+            let ch_a = env.verifier_mut().challenge();
+            let q_a = match env.kernel_mut().quote(&ch_a) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("quote A failed: {e}")),
+            };
+            let t_a = match env.verifier_mut().verify_and_provision(&q_a, "victim", dek) {
+                Ok(t) => t,
+                Err(e) => return ScenarioReport::forbidden(format!("verify A failed: {e}")),
+            };
+            let ch_b = env.verifier_mut().challenge();
+            let q_b = match env.kernel_mut().quote(&ch_b) {
+                Ok(q) => q,
+                Err(e) => return ScenarioReport::forbidden(format!("quote B failed: {e}")),
+            };
+            let t_b = match env
+                .verifier_mut()
+                .verify_and_provision(&q_b, "bystander", [0xB5u8; 32])
+            {
+                Ok(t) => t,
+                Err(e) => return ScenarioReport::forbidden(format!("verify B failed: {e}")),
+            };
+            let Some(spliced) = splice_sealed_dek(&t_a, &t_b) else {
+                return ScenarioReport::forbidden("spliced ticket failed to re-parse".to_string());
+            };
+            match env.kernel_mut().redeem(&spliced) {
+                Err(AttestError::SealTamper(_)) => {}
+                Ok(_) => {
+                    return ScenarioReport::forbidden(
+                        "cross-session sealed DEK splice was unsealed".to_string(),
+                    )
+                }
+                Err(other) => {
+                    return ScenarioReport::forbidden(format!(
+                        "DEK splice rejected with wrong class: {other}"
+                    ))
+                }
+            }
+            // The failed redeem must not consume the session: the
+            // genuine tickets both still redeem.
+            match (env.kernel_mut().redeem(&t_a), env.kernel_mut().redeem(&t_b)) {
+                (Ok(_), Ok(_)) => ScenarioReport {
+                    verdict: Verdict::DetectedSplice,
+                    probe: Some(Verdict::Clean),
+                    detail: "spliced sealed DEK failed authenticated decryption; \
+                             genuine tickets unaffected"
+                        .into(),
+                },
+                (a, b) => ScenarioReport::forbidden(format!(
+                    "splice attempt burned an honest session: victim={a:?} bystander={b:?}"
+                )),
+            }
+        }
+        _ => unreachable!("non-attest class in an attestation scenario"),
+    }
+}
+
 /// Runs one plan to a verdict (see the module docs for the scenario
 /// families). Plans whose events are all memory-class (or empty) run
 /// the full LCG trace against twin engine sets; wire, register,
-/// debug-port and multi-tenant service plans run their own protocol
-/// exchanges keyed off the first event.
+/// debug-port, multi-tenant service and remote-attestation plans run
+/// their own protocol exchanges keyed off the first event.
 #[must_use]
 pub fn run_plan(plan: &FaultPlan) -> ScenarioReport {
     match plan.events.first() {
@@ -1630,6 +1931,10 @@ pub fn run_plan(plan: &FaultPlan) -> ScenarioReport {
             FaultClass::AdmissionDrop | FaultClass::ShardPanic | FaultClass::TenantAbort => {
                 run_service_plan(plan, ev)
             }
+            FaultClass::AttestQuoteForge
+            | FaultClass::AttestNonceReplay
+            | FaultClass::AttestWrongMeasurement
+            | FaultClass::AttestDekTamper => run_attest_plan(plan, ev),
             _ => unreachable!("memory-class plans handled above"),
         },
     }

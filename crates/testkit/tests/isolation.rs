@@ -12,6 +12,7 @@
 //!    engine sets fail-stops *A only*; tenant B's requests neither
 //!    reject nor stall, and A is readmitted once its poison is cleared.
 
+use shef_attest::AttestationEnvironment;
 use shef_core::fault::ShieldFault;
 use shef_core::shield::engine::AccessMode;
 use shef_core::shield::{
@@ -41,6 +42,8 @@ fn tenant_config() -> ShieldConfig {
 }
 
 fn service_with(names: &[&str]) -> (ShieldService, Vec<TenantId>) {
+    let mut env =
+        AttestationEnvironment::new(b"testkit.isolation-tests").expect("attestation fixture");
     let mut service = ShieldService::new(
         ServiceConfig {
             shards: 2,
@@ -48,14 +51,20 @@ fn service_with(names: &[&str]) -> (ShieldService, Vec<TenantId>) {
             queue_capacity: 64,
             tenant_quota: 32,
         },
-        DataEncryptionKey::from_bytes([0x61u8; 32]),
+        env.verifier_public(),
     )
     .expect("service constructs");
+    // Each tenant seals its own DEK to the enclave; the shared master
+    // key only lives owner-side to keep the derived domains stable.
+    let master = DataEncryptionKey::from_bytes([0x61u8; 32]);
     let ids = names
         .iter()
         .map(|n| {
+            let grant = env
+                .onboard(n, master.tenant_key(n).to_bytes())
+                .expect("tenant attests");
             service
-                .register_tenant(n, tenant_config())
+                .register_tenant(n, tenant_config(), &grant)
                 .expect("tenant registers")
         })
         .collect();

@@ -1,0 +1,151 @@
+//! Tenant onboarding over remote attestation, message by message.
+//!
+//! `attestation_flow` walks the IP **vendor's** protocol: releasing the
+//! bitstream decryption key to a measured Security Kernel. This example
+//! walks the **Data Owner's** protocol one layer up: convincing
+//! yourself the right Shield bitstream is running, sealing your data
+//! encryption key to that enclave, and presenting the resulting ticket
+//! to the multi-tenant `ShieldService` — which refuses any tenant that
+//! cannot show one.
+//!
+//! 1. Manufacturing: the Manufacturer burns a device key, derives the
+//!    attestation root during measured boot, and certifies the device.
+//! 2. The Security Kernel measures the Shield bitstream and derives its
+//!    Attestation Key from root ‖ measurement.
+//! 3. Verifier → Kernel: nonce + ephemeral X25519 key (the challenge).
+//! 4. Kernel → Verifier: quote — measurement, nonce, key-exchange
+//!    shares, and the device/AK certificate chain, AK-signed.
+//! 5. Verifier: checks freshness, the chain, the signature, and the
+//!    measurement registry; seals the tenant DEK to the session;
+//!    signs an admission ticket.
+//! 6. Kernel: unseals the DEK (one-shot) → an `AttestedTenant` grant.
+//! 7. `ShieldService::register_tenant` admits the grant, pins the
+//!    verifier, and rejects forgeries and replays.
+//!
+//! Run with: `cargo run --release --example attested_tenant`
+
+use shef::attest::{AttestError, AttestationEnvironment};
+use shef::core::fault::ShieldFault;
+use shef::core::shield::{
+    AccessMode, DataEncryptionKey, EngineSetConfig, MemRange, ServiceConfig, ServiceRequest,
+    ShieldConfig, ShieldService,
+};
+use shef::core::ShefError;
+use shef::crypto::to_hex;
+
+fn hex8(bytes: &[u8]) -> String {
+    format!("{}…", &to_hex(bytes)[..16])
+}
+
+fn shield_config() -> ShieldConfig {
+    ShieldConfig::builder()
+        .region(
+            "data",
+            MemRange::new(0x1000, 64 * 1024),
+            EngineSetConfig::default(),
+        )
+        .build()
+        .expect("valid config")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1–2. Manufacturing + measured boot, bundled by the fixture:
+    // a device with a burned key, a certified attestation root, and a
+    // Security Kernel that has measured the demo Shield bitstream.
+    let mut env = AttestationEnvironment::new(b"examples.attested-tenant")?;
+    println!(
+        "[boot]    Security Kernel operational, measurement {}",
+        hex8(&env.measurement()?.0)
+    );
+
+    // --- 3. The Data Owner's verifier opens a session.
+    let challenge = env.verifier_mut().challenge();
+    println!("[chal]    nonce {}", hex8(&challenge.nonce));
+    println!(
+        "[chal]    verifier KEM share {}",
+        hex8(&challenge.verifier_kem)
+    );
+
+    // --- 4. The kernel answers with an AK-signed quote.
+    let quote = env.kernel_mut().quote(&challenge)?;
+    println!("[quote]   measurement {}", hex8(&quote.measurement.0));
+    println!("[quote]   AK public   {}", hex8(&quote.ak_public.0));
+    println!("[quote]   signature   {}", hex8(&quote.signature.0));
+
+    // --- 5. Verification + key provisioning. The DEK never crosses the
+    // host in the clear: it is AES-GCM-sealed to the session key.
+    let master = DataEncryptionKey::from_bytes([0x5Au8; 32]);
+    let dek = master.tenant_key("alice");
+    let ticket = env
+        .verifier_mut()
+        .verify_and_provision(&quote, "alice", dek.to_bytes())?;
+    println!(
+        "[ticket]  issued for '{}', session {}",
+        ticket.tenant(),
+        hex8(&ticket.session())
+    );
+
+    // --- 6. Only the measured kernel can unseal the DEK; the result is
+    // the admission credential.
+    let grant = env.kernel_mut().redeem(&ticket)?;
+    println!("[redeem]  DEK unsealed inside the enclave ✓");
+
+    // A second redeem of the same ticket must fail: one-shot sessions.
+    match env.kernel_mut().redeem(&ticket) {
+        Err(AttestError::UnknownSession) => println!("[redeem]  double-redeem refused ✓"),
+        other => panic!("double redeem must fail, got {other:?}"),
+    }
+
+    // --- 7. Admission. The service pins the verifier key and only
+    // seats tenants carrying a valid grant.
+    let mut service = ShieldService::new(ServiceConfig::default(), env.verifier_public())?;
+    let tenant = service.register_tenant("alice", shield_config(), &grant)?;
+    println!("[admit]   tenant 'alice' registered via attestation ✓");
+
+    // The attested DEK is live: a write/read round trip works.
+    service.submit(
+        tenant,
+        ServiceRequest::Write {
+            addr: 0x1000,
+            data: vec![0xA1u8; 512],
+            mode: AccessMode::Streaming,
+        },
+    )?;
+    service.submit(
+        tenant,
+        ServiceRequest::Read {
+            addr: 0x1000,
+            len: 512,
+            mode: AccessMode::Streaming,
+        },
+    )?;
+    for c in service.drain() {
+        if let Some(bytes) = c.payload.expect("clean run") {
+            assert_eq!(bytes, vec![0xA1u8; 512]);
+        }
+    }
+    println!("[datapath] shielded round trip under the attested DEK ✓");
+
+    // --- Negative paths: what the admission gate stops.
+    //
+    // (a) A grant from a verifier the service does not trust.
+    let mut rogue = AttestationEnvironment::new(b"examples.rogue-verifier")?;
+    let rogue_grant = rogue.onboard("mallory", [0x66u8; 32])?;
+    match service.register_tenant("mallory", shield_config(), &rogue_grant) {
+        Err(ShefError::Fault(ShieldFault::AttestationRejected { reason, .. })) => {
+            println!("[reject]  untrusted verifier: {reason} ✓");
+        }
+        other => panic!("rogue verifier must be rejected, got {other:?}"),
+    }
+
+    // (b) A replayed (already-admitted) credential, even under a new name.
+    match service.register_tenant("alice-again", shield_config(), &grant) {
+        Err(ShefError::Fault(ShieldFault::AttestationRejected { reason, .. })) => {
+            println!("[reject]  replayed session: {reason} ✓");
+        }
+        other => panic!("replayed grant must be rejected, got {other:?}"),
+    }
+
+    println!("\nAttested onboarding complete: measure → quote → verify → seal → admit.");
+    Ok(())
+}

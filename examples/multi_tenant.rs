@@ -146,12 +146,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //
     // Instead of hand-wiring Shields onto a shared DRAM, a CSP-side
     // service can host many tenants, each with a private Shield, DRAM
-    // namespace, and a key domain derived from one master DEK
-    // (`DataEncryptionKey::tenant_key`). Requests pass admission control
+    // namespace, and a DEK the tenant sealed to the enclave over the
+    // remote-attestation protocol (see `examples/attested_tenant.rs`
+    // for the full walk-through). Admission requires a ticket from the
+    // verifier the service trusts; requests then pass admission control
     // and are dispatched deterministically across shards.
+    use shef::attest::AttestationEnvironment;
     use shef::core::shield::{ServiceConfig, ServiceRequest, ShieldService};
 
     let master = DataEncryptionKey::from_bytes([0x5Eu8; 32]);
+    let mut env = AttestationEnvironment::new(b"examples.multi-tenant")?;
     let mut service = ShieldService::new(
         ServiceConfig {
             shards: 2,
@@ -159,7 +163,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 16,
             tenant_quota: 8,
         },
-        master,
+        env.verifier_public(),
     )?;
     let svc_config = || {
         ShieldConfig::builder()
@@ -171,8 +175,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()
             .expect("valid config")
     };
-    let t_alice = service.register_tenant("alice", svc_config())?;
-    let t_bob = service.register_tenant("bob", svc_config())?;
+    let grant_alice = env.onboard("alice", master.tenant_key("alice").to_bytes())?;
+    let grant_bob = env.onboard("bob", master.tenant_key("bob").to_bytes())?;
+    let t_alice = service.register_tenant("alice", svc_config(), &grant_alice)?;
+    let t_bob = service.register_tenant("bob", svc_config(), &grant_bob)?;
 
     // Same address, different tenants: namespaces and keys are private.
     for (tenant, byte) in [(t_alice, 0xACu8), (t_bob, 0xB7u8)] {

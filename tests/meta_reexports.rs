@@ -110,10 +110,29 @@ fn telemetry_facade_exports_reports() {
     assert_eq!(report.scopes["facade.phase"].total_cycles, 32);
 }
 
+/// `shef::attest` is reachable through the façade: a full
+/// challenge → quote → verify → redeem round trips the sealed DEK.
+#[test]
+fn attest_facade_onboards_a_tenant() {
+    use shef::attest::AttestationEnvironment;
+
+    let mut env = AttestationEnvironment::new(b"meta-reexport-attest").expect("fixture");
+    let grant = env
+        .onboard("alice", [0x42u8; 32])
+        .expect("honest onboarding");
+    assert_eq!(grant.tenant(), "alice");
+    assert_eq!(grant.data_key(), [0x42u8; 32]);
+    assert_eq!(
+        grant.ticket().measurement(),
+        env.measurement().expect("operational kernel")
+    );
+}
+
 /// The multi-tenant service is reachable through the façade and serves
-/// two isolated tenants end to end.
+/// two isolated tenants end to end (admission via `shef::attest`).
 #[test]
 fn service_facade_serves_two_tenants() {
+    use shef::attest::AttestationEnvironment;
     use shef::core::shield::{AccessMode, ServiceConfig, ServiceRequest, ShieldService};
 
     let region = MemRange::new(REGION_BASE, REGION_LEN);
@@ -123,16 +142,21 @@ fn service_facade_serves_two_tenants() {
             .build()
             .expect("valid config")
     };
-    let mut service = ShieldService::new(
-        ServiceConfig::default(),
-        DataEncryptionKey::from_bytes([0x17u8; 32]),
-    )
-    .expect("service constructs");
+    let mut env = AttestationEnvironment::new(b"meta-reexport-service").expect("fixture");
+    let master = DataEncryptionKey::from_bytes([0x17u8; 32]);
+    let mut service = ShieldService::new(ServiceConfig::default(), env.verifier_public())
+        .expect("service constructs");
+    let mut onboard = |name: &str| {
+        env.onboard(name, master.tenant_key(name).to_bytes())
+            .expect("tenant attests")
+    };
+    let grant_a = onboard("alice");
+    let grant_b = onboard("bob");
     let a = service
-        .register_tenant("alice", tenant_config())
+        .register_tenant("alice", tenant_config(), &grant_a)
         .expect("tenant a");
     let b = service
-        .register_tenant("bob", tenant_config())
+        .register_tenant("bob", tenant_config(), &grant_b)
         .expect("tenant b");
 
     let payload_a = vec![0xAAu8; 512];
